@@ -1,0 +1,363 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// One benchmark per artefact, in paper order; each runs the experiment over
+// the reduced (quick) application subset so a full `go test -bench=.` sweep
+// stays tractable, and reports the experiment's headline metric alongside
+// ns/op. Run the full-catalog versions with `cmd/hpebench`.
+//
+// Additional ablation benches at the bottom quantify the design choices
+// DESIGN.md calls out: HIR batching vs an ideal hit feed, dynamic adjustment
+// on/off, page-set division on/off, and the extra baselines (FIFO, LFU).
+package hpe_test
+
+import (
+	"testing"
+
+	"hpe"
+	"hpe/internal/experiments"
+)
+
+func quickSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.Options{Quick: true, Seed: 1})
+}
+
+func reportMetric(b *testing.B, rep experiments.Report, key, unit string) {
+	if v, ok := rep.Metrics[key]; ok {
+		b.ReportMetric(v, unit)
+	}
+}
+
+// --- Table I & II -------------------------------------------------------------
+
+func BenchmarkTable1Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Table1()
+		if i == b.N-1 {
+			reportMetric(b, rep, "faultCycles", "fault-cycles")
+		}
+	}
+}
+
+func BenchmarkTable2Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Table2()
+		if i == b.N-1 {
+			reportMetric(b, rep, "meanMB", "mean-MB")
+		}
+	}
+}
+
+// --- Figures ------------------------------------------------------------------
+
+func BenchmarkFig3EvictionsVsIdeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig3()
+		if i == b.N-1 {
+			reportMetric(b, rep, "lru/mean", "lru-vs-ideal")
+			reportMetric(b, rep, "rrip/mean", "rrip-vs-ideal")
+		}
+	}
+}
+
+func BenchmarkFig7PageSetSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig7()
+		if i == b.N-1 {
+			reportMetric(b, rep, "maxSpread", "max-spread")
+		}
+	}
+}
+
+func BenchmarkFig8IntervalLength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig8()
+		if i == b.N-1 {
+			reportMetric(b, rep, "maxSpread", "max-spread")
+		}
+	}
+}
+
+func BenchmarkFig9Ratios(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig9()
+		if i == b.N-1 {
+			reportMetric(b, rep, "ratio1/KMN", "kmn-ratio1")
+		}
+	}
+}
+
+func BenchmarkFig10SpeedupVsLRU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig10()
+		if i == b.N-1 {
+			reportMetric(b, rep, "mean75", "speedup@75")
+			reportMetric(b, rep, "mean50", "speedup@50")
+		}
+	}
+}
+
+func BenchmarkFig11EvictionsVsLRU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig11()
+		if i == b.N-1 {
+			reportMetric(b, rep, "mean75", "ev-ratio@75")
+			reportMetric(b, rep, "mean50", "ev-ratio@50")
+		}
+	}
+}
+
+func BenchmarkFig12AllPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig12()
+		if i == b.N-1 {
+			reportMetric(b, rep, "perf75/HPE", "hpe-vs-ideal@75")
+			reportMetric(b, rep, "hpeSpeedup75/RRIP", "hpe-vs-rrip@75")
+		}
+	}
+}
+
+func BenchmarkFig13AdjustmentBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig13()
+		if i == b.N-1 {
+			reportMetric(b, rep, "switches75/BFS", "bfs-switches")
+		}
+	}
+}
+
+func BenchmarkFig14SearchOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig14()
+		if i == b.N-1 {
+			reportMetric(b, rep, "mean", "mean-comparisons")
+		}
+	}
+}
+
+func BenchmarkFig15HIREntries(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Fig15()
+		if i == b.N-1 {
+			reportMetric(b, rep, "mean/HSD", "hsd-entries")
+		}
+	}
+}
+
+// --- Section V-A / V-B / V-C ---------------------------------------------------
+
+func BenchmarkTransferIntervalSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.TransferInterval()
+		if i == b.N-1 {
+			reportMetric(b, rep, "norm/1", "ipc-at-interval-1")
+		}
+	}
+}
+
+func BenchmarkWalkLatencySensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.WalkLatency()
+		if i == b.N-1 {
+			reportMetric(b, rep, "delta/HPE", "hpe-delta")
+		}
+	}
+}
+
+func BenchmarkOverheadAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.Overheads()
+		if i == b.N-1 {
+			reportMetric(b, rep, "classifyUS", "classify-us")
+			reportMetric(b, rep, "load75/HPE", "hpe-load@75")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md design-choice benches) --------------------------------
+
+// thrashingSetup returns the Type II workload and memory the ablations use.
+func thrashingSetup() (*hpe.Trace, int) {
+	app, _ := hpe.WorkloadByAbbr("HSD")
+	tr := app.Generate()
+	return tr, tr.Footprint() * 3 / 4
+}
+
+// BenchmarkAblationHIRBatching compares full HPE (HIR, batched hits, transfer
+// latency charged) against the ideal direct hit feed — the cost of the
+// paper's hardware-frugal hit channel.
+func BenchmarkAblationHIRBatching(b *testing.B) {
+	tr, capacity := thrashingSetup()
+	var batched, ideal uint64
+	for i := 0; i < b.N; i++ {
+		res := hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, hpe.DefaultHPEConfig())
+		batched = res.Faults
+		cfg := hpe.DefaultHPEConfig()
+		cfg.IdealHitFeed = true
+		res = hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewHPE(cfg))
+		ideal = res.Faults
+	}
+	b.ReportMetric(float64(batched), "faults-hir")
+	b.ReportMetric(float64(ideal), "faults-idealfeed")
+}
+
+// BenchmarkAblationDynamicAdjustment quantifies Algorithm 1 on BFS, the
+// paper's misclassification example: without adjustment BFS stays on LRU and
+// thrashes.
+func BenchmarkAblationDynamicAdjustment(b *testing.B) {
+	app, _ := hpe.WorkloadByAbbr("BFS")
+	tr := app.Generate()
+	capacity := tr.Footprint() * 3 / 4
+	var on, off uint64
+	for i := 0; i < b.N; i++ {
+		res := hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, hpe.DefaultHPEConfig())
+		on = res.Faults
+		cfg := hpe.DefaultHPEConfig()
+		cfg.DynamicAdjustment = false
+		res = hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, cfg)
+		off = res.Faults
+	}
+	b.ReportMetric(float64(on), "faults-adjust-on")
+	b.ReportMetric(float64(off), "faults-adjust-off")
+}
+
+// BenchmarkAblationDivision quantifies page-set division on NW, the paper's
+// even/odd example.
+func BenchmarkAblationDivision(b *testing.B) {
+	app, _ := hpe.WorkloadByAbbr("NW")
+	tr := app.Generate()
+	capacity := tr.Footprint() / 2
+	var on, off uint64
+	for i := 0; i < b.N; i++ {
+		res := hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, hpe.DefaultHPEConfig())
+		on = res.Faults
+		cfg := hpe.DefaultHPEConfig()
+		cfg.DisableDivision = true
+		res = hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, cfg)
+		off = res.Faults
+	}
+	b.ReportMetric(float64(on), "faults-division-on")
+	b.ReportMetric(float64(off), "faults-division-off")
+}
+
+// BenchmarkAblationExtraBaselines runs the baselines the paper mentions but
+// does not plot (FIFO, LFU) on the thrashing workload.
+func BenchmarkAblationExtraBaselines(b *testing.B) {
+	tr, capacity := thrashingSetup()
+	var fifo, lfu uint64
+	for i := 0; i < b.N; i++ {
+		fifo = hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewFIFO()).Faults
+		lfu = hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewLFU()).Faults
+	}
+	b.ReportMetric(float64(fifo), "faults-fifo")
+	b.ReportMetric(float64(lfu), "faults-lfu")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulator speed (accesses per
+// second of wall time) on the largest workload.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	app, _ := hpe.WorkloadByAbbr("KMN")
+	tr := app.Generate()
+	capacity := tr.Footprint() * 3 / 4
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res := hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewLRU())
+		total += int(res.Accesses)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// --- Extension experiments -------------------------------------------------------
+
+func BenchmarkExtExtendedPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.ExtendedPolicies()
+		if i == b.N-1 {
+			reportMetric(b, rep, "mean/HPE", "hpe-vs-ideal")
+			reportMetric(b, rep, "mean/ARC", "arc-vs-ideal")
+		}
+	}
+}
+
+func BenchmarkExtOversubscriptionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.OversubscriptionSweep()
+		if i == b.N-1 {
+			reportMetric(b, rep, "speedup/90", "hpe-speedup@90")
+			reportMetric(b, rep, "speedup/40", "hpe-speedup@40")
+		}
+	}
+}
+
+func BenchmarkExtDivisionStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.DivisionStudy()
+		if i == b.N-1 {
+			reportMetric(b, rep, "faults50/NW/off", "nw-faults-div-off")
+		}
+	}
+}
+
+func BenchmarkExtChannelStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.ChannelStudy()
+		if i == b.N-1 {
+			reportMetric(b, rep, "HPE/8", "hpe-8ch-speedup")
+		}
+	}
+}
+
+func BenchmarkExtTranslationStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.TranslationStudy()
+		if i == b.N-1 {
+			reportMetric(b, rep, "geomean", "pwc-vs-l2tlb")
+		}
+	}
+}
+
+func BenchmarkExtPrefetchStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := quickSuite()
+		rep := s.PrefetchStudy()
+		if i == b.N-1 {
+			reportMetric(b, rep, "LRU/15", "lru-pf15-speedup")
+			reportMetric(b, rep, "HPE/15", "hpe-pf15-speedup")
+		}
+	}
+}
+
+// BenchmarkAblationSetGranularity separates HPE's two ingredients on the
+// thrashing workload: page-level LRU vs set-level LRU (granularity only) vs
+// full HPE (granularity + partitions + classification).
+func BenchmarkAblationSetGranularity(b *testing.B) {
+	tr, capacity := thrashingSetup()
+	var page, set, full uint64
+	for i := 0; i < b.N; i++ {
+		page = hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewLRU()).Faults
+		set = hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewSetLRU()).Faults
+		full = hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, hpe.DefaultHPEConfig()).Faults
+	}
+	b.ReportMetric(float64(page), "faults-page-lru")
+	b.ReportMetric(float64(set), "faults-set-lru")
+	b.ReportMetric(float64(full), "faults-hpe")
+}

@@ -1,0 +1,111 @@
+// Command hpebench regenerates the paper's evaluation: every table and
+// figure of Section V, over the 23 synthetic Table II workloads.
+//
+// Usage:
+//
+//	hpebench                  # run everything (several minutes)
+//	hpebench -only fig10      # one experiment (comma-separate for several)
+//	hpebench -quick           # 10-app subset
+//	hpebench -v               # per-simulation progress lines
+//	hpebench -list            # list experiment IDs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hpe/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run the reduced application subset")
+	verbose := flag.Bool("v", false, "print per-simulation progress")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "workers prewarming the simulation grid")
+	jsonOut := flag.String("json", "", "also write report metrics as JSON to this file")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: 1}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	suite := experiments.NewSuite(opts)
+
+	ids := experiments.IDs()
+	if *only != "" {
+		ids = strings.Split(*only, ",")
+	}
+	start := time.Now()
+	suite.Prewarm(*parallel)
+	var reports []experiments.Report
+	for _, id := range ids {
+		rep, ok := suite.ByID(strings.TrimSpace(id))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		fmt.Println(rep.String())
+		reports = append(reports, rep)
+	}
+	fmt.Printf("completed %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Millisecond))
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "hpebench: write json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}
+
+// jsonReport is the machine-readable form of a report (text omitted).
+type jsonReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func writeJSON(path string, reports []experiments.Report) error {
+	out := make([]jsonReport, len(reports))
+	for i, r := range reports {
+		// JSON has no ±Inf/NaN (e.g. MVT's ratio1 is +Inf): clamp infinities
+		// to the float64 extremes and drop NaNs.
+		metrics := make(map[string]float64, len(r.Metrics))
+		for k, v := range r.Metrics {
+			switch {
+			case math.IsNaN(v):
+				continue
+			case math.IsInf(v, 1):
+				v = math.MaxFloat64
+			case math.IsInf(v, -1):
+				v = -math.MaxFloat64
+			}
+			metrics[k] = v
+		}
+		out[i] = jsonReport{ID: r.ID, Title: r.Title, Metrics: metrics}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,153 @@
+// Command hpesim runs one workload under one eviction policy at one
+// oversubscription rate and prints the simulation metrics.
+//
+// Usage:
+//
+//	hpesim -app HSD -policy hpe -rate 75
+//	hpesim -app BFS -policy lru,rrip,ideal,hpe -rate 50 -v
+//	hpesim -trace dump.hpet -policy clockpro -rate 75   # pre-generated trace
+//	hpesim -list                                        # list workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"hpe"
+	"hpe/internal/gpu"
+	"hpe/internal/sim"
+	"hpe/internal/trace"
+	"hpe/internal/workload"
+)
+
+func loadTrace(r io.Reader) (*hpe.Trace, error) { return trace.Read(r) }
+
+func main() {
+	appAbbr := flag.String("app", "HSD", "workload abbreviation (see -list)")
+	tracePath := flag.String("trace", "", "run a trace file instead of a catalog workload")
+	policies := flag.String("policy", "hpe", "comma-separated: lru, fifo, lfu, random, rrip, clockpro, ideal, hpe")
+	rate := flag.Int("rate", 75, "oversubscription rate in percent (memory = rate% of footprint)")
+	list := flag.Bool("list", false, "list catalog workloads and exit")
+	verbose := flag.Bool("v", false, "print extended statistics")
+	prefetch := flag.Int("prefetch", 0, "extra pages migrated per fault from the same 64-KB block")
+	channels := flag.Int("channels", 1, "parallel fault-service channels in the driver")
+	design := flag.String("design", "l2tlb", "address translation design: l2tlb or pwc")
+	datapath := flag.Bool("datapath", false, "model the Table I data hierarchy (L1D/L2/GDDR5)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range hpe.Workloads() {
+			fmt.Println(a)
+		}
+		return
+	}
+	if *rate <= 0 || *rate > 100 {
+		fatalf("rate %d out of (0,100]", *rate)
+	}
+
+	var tr *hpe.Trace
+	var app hpe.App
+	haveApp := false
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fatalf("open trace: %v", err)
+		}
+		defer f.Close()
+		tr, err = loadTrace(f)
+		if err != nil {
+			fatalf("read trace: %v", err)
+		}
+	} else {
+		var ok bool
+		app, ok = hpe.WorkloadByAbbr(*appAbbr)
+		if !ok {
+			fatalf("unknown workload %q (use -list)", *appAbbr)
+		}
+		haveApp = true
+		tr = app.Generate()
+	}
+
+	capacity := int(math.Ceil(float64(tr.Footprint()) * float64(*rate) / 100))
+	fmt.Printf("workload %s: %d refs, %d pages footprint (%.1f MB), memory %d pages (%d%%)\n",
+		tr.Name, tr.Len(), tr.Footprint(), float64(tr.FootprintBytes())/(1<<20), capacity, *rate)
+
+	for _, name := range strings.Split(*policies, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		cfg := hpe.SystemConfig(capacity)
+		if haveApp && app.ComputeGap > 0 {
+			cfg.ComputeGap = sim.Cycle(app.ComputeGap)
+		}
+		cfg.Driver.PrefetchPages = *prefetch
+		cfg.Driver.Channels = *channels
+		cfg.ModelDataPath = *datapath
+		switch strings.ToLower(*design) {
+		case "l2tlb":
+		case "pwc":
+			cfg.Translation = gpu.DesignPWC
+		default:
+			fatalf("unknown translation design %q (l2tlb or pwc)", *design)
+		}
+		var res hpe.Result
+		switch name {
+		case "hpe":
+			res = hpe.SimulateHPE(cfg, tr, hpe.DefaultHPEConfig())
+		case "lru":
+			res = hpe.Simulate(cfg, tr, hpe.NewLRU())
+		case "fifo":
+			res = hpe.Simulate(cfg, tr, hpe.NewFIFO())
+		case "lfu":
+			res = hpe.Simulate(cfg, tr, hpe.NewLFU())
+		case "random":
+			res = hpe.Simulate(cfg, tr, hpe.NewRandom(1))
+		case "rrip":
+			rc := hpe.DefaultRRIPConfig()
+			if haveApp && app.Pattern == workload.PatternThrashing {
+				rc = hpe.ThrashingRRIPConfig()
+			}
+			res = hpe.Simulate(cfg, tr, hpe.NewRRIP(rc))
+		case "clockpro":
+			res = hpe.Simulate(cfg, tr, hpe.NewClockPro(capacity))
+		case "ideal":
+			res = hpe.Simulate(cfg, tr, hpe.NewIdeal(tr))
+		default:
+			fatalf("unknown policy %q", name)
+		}
+		fmt.Println(res)
+		if *verbose {
+			printDetails(res)
+		}
+	}
+}
+
+func printDetails(r hpe.Result) {
+	fmt.Printf("  cycles=%d instructions=%d runtime=%.2fms\n", r.Cycles, r.Instructions, r.Runtime(1400)*1e3)
+	fmt.Printf("  L1 TLB %d/%d hits, L2 TLB %d/%d hits, walks=%d (merged %d), walk hits=%d\n",
+		r.L1Hits, r.L1Hits+r.L1Misses, r.L2Hits, r.L2Hits+r.L2Misses, r.Walks, r.WalkMerges, r.WalkHits)
+	fmt.Printf("  faults=%d (coalesced %d) evictions=%d barriers=%d queue depth max=%d\n",
+		r.Faults, r.Coalesced, r.Evictions, r.BarriersCrossed, r.Driver.MaxQueueDepth)
+	if r.DRAM != nil {
+		fmt.Printf("  data: L1D %d/%d hits, L2D %d/%d hits, DRAM row-hit %.1f%%, queue wait %.1f cyc\n",
+			r.DataL1Hits, r.DataL1Hits+r.DataL1Misses, r.DataL2Hits, r.DataL2Hits+r.DataL2Misses,
+			r.DRAM.RowHitRate*100, r.DRAM.MeanQueueWait)
+	}
+	if r.HIR != nil {
+		fmt.Printf("  HIR: %d hits recorded, %d drains, %.1f entries/transfer, %d conflicts, %d bytes over PCIe\n",
+			r.HIR.HitsRecorded, r.HIR.Drains, r.HIR.MeanNonEmpty, r.HIR.Conflicts, r.Driver.HIRTransferBytes)
+	}
+	if st, ok := hpe.HPEStatsOf(r); ok && st.Classified {
+		fmt.Printf("  HPE: %v (ratio1=%.3f ratio2=%.3f), strategy %v, %d switches, %d jumps, %d divisions\n",
+			st.Category, st.Ratios.Ratio1, st.Ratios.Ratio2, st.ActiveStrategy, st.Switches, len(st.Jumps), st.Divisions)
+		fmt.Printf("  HPE: %d MRU-C searches, %.1f comparisons avg, chain %d sets (%d/%d/%d old/mid/new)\n",
+			st.Searches, st.MeanComparisons, st.ChainLen, st.ChainOld, st.ChainMiddle, st.ChainNew)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hpesim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,107 @@
+// Command tracegen generates, inspects, and converts the synthetic workload
+// traces.
+//
+// Usage:
+//
+//	tracegen -app HSD -out hsd.hpet          # write the binary trace
+//	tracegen -app HSD -profile               # print the trace profile
+//	tracegen -in hsd.hpet -profile           # profile an existing trace
+//	tracegen -all -dir traces/               # dump the whole catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hpe"
+	"hpe/internal/addrspace"
+	"hpe/internal/trace"
+)
+
+func main() {
+	appAbbr := flag.String("app", "", "workload abbreviation to generate")
+	all := flag.Bool("all", false, "generate every catalog workload")
+	out := flag.String("out", "", "output file for -app")
+	dir := flag.String("dir", ".", "output directory for -all")
+	in := flag.String("in", "", "existing trace file to load instead of generating")
+	profile := flag.Bool("profile", false, "print the trace profile instead of writing")
+	flag.Parse()
+
+	switch {
+	case *all:
+		for _, a := range hpe.Workloads() {
+			tr := a.Generate()
+			name := strings.ReplaceAll(strings.ToLower(a.Abbr), "+", "p") + ".hpet"
+			path := filepath.Join(*dir, name)
+			if err := writeTrace(tr, path); err != nil {
+				fatalf("%s: %v", a.Abbr, err)
+			}
+			fmt.Printf("wrote %-18s %s\n", path, trace.Profiler(tr, addrspace.DefaultGeometry()))
+		}
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		describe(tr)
+	case *appAbbr != "":
+		a, ok := hpe.WorkloadByAbbr(*appAbbr)
+		if !ok {
+			fatalf("unknown workload %q", *appAbbr)
+		}
+		tr := a.Generate()
+		if *profile || *out == "" {
+			describe(tr)
+		}
+		if *out != "" {
+			if err := writeTrace(tr, *out); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func describe(tr *hpe.Trace) {
+	p := trace.Profiler(tr, addrspace.DefaultGeometry())
+	fmt.Println(p)
+	fmt.Printf("barriers: %d kernel boundaries\n", len(tr.Barriers))
+	reg, irr, small, large := p.CounterClasses(addrspace.DefaultSetSize)
+	fmt.Printf("set counter census (capped at 64): regular=%d irregular=%d small=%d large=%d\n",
+		reg, irr, small, large)
+	d := trace.ReuseDistances(tr)
+	if len(d) > 0 {
+		fmt.Printf("reuse distances: %d reuses, median %d pages, p90 %d pages\n",
+			len(d), d[len(d)/2], d[len(d)*9/10])
+	} else {
+		fmt.Println("reuse distances: none (pure streaming)")
+	}
+}
+
+func writeTrace(tr *hpe.Trace, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,71 @@
+package hpe_test
+
+import (
+	"fmt"
+
+	"hpe"
+)
+
+// ExampleSimulate reproduces the paper's headline comparison on hotspot3D:
+// HPE versus LRU at 75% oversubscription.
+func ExampleSimulate() {
+	app, _ := hpe.WorkloadByAbbr("HSD")
+	tr := app.Generate()
+	capacity := tr.Footprint() * 75 / 100
+
+	cfg := hpe.SystemConfig(capacity)
+	lru := hpe.Simulate(cfg, tr, hpe.NewLRU())
+	hp := hpe.SimulateHPE(cfg, tr, hpe.DefaultHPEConfig())
+
+	fmt.Printf("LRU faults: %d\n", lru.Faults)
+	fmt.Printf("HPE faults: %d\n", hp.Faults)
+	fmt.Printf("speedup: %.2fx\n", hp.IPC/lru.IPC)
+	// Output:
+	// LRU faults: 13824
+	// HPE faults: 5823
+	// speedup: 2.37x
+}
+
+// ExampleReplay uses the timing-free replay to compare eviction counts —
+// the fast path for policy studies that don't need the GPU timing model.
+func ExampleReplay() {
+	app, _ := hpe.WorkloadByAbbr("STN")
+	tr := app.Generate()
+	capacity := tr.Footprint() * 3 / 4
+
+	lru := hpe.Replay(tr, hpe.NewLRU(), capacity)
+	ideal := hpe.Replay(tr, hpe.NewIdeal(tr), capacity)
+
+	fmt.Printf("LRU evicts %.1fx what Belady-MIN would\n",
+		float64(lru.Evictions)/float64(ideal.Evictions))
+	// Output:
+	// LRU evicts 3.4x what Belady-MIN would
+}
+
+// ExampleHPEStatsOf inspects HPE's classification of a workload.
+func ExampleHPEStatsOf() {
+	app, _ := hpe.WorkloadByAbbr("KMN") // kmeans: the paper's ratio1 outlier
+	tr := app.Generate()
+	res := hpe.SimulateHPE(hpe.SystemConfig(tr.Footprint()*3/4), tr, hpe.DefaultHPEConfig())
+
+	if st, ok := hpe.HPEStatsOf(res); ok {
+		fmt.Printf("category: %v\n", st.Category)
+		fmt.Printf("strategy: %v\n", st.ActiveStrategy)
+	}
+	// Output:
+	// category: irregular#2
+	// strategy: LRU
+}
+
+// ExampleWorkloadsByPattern lists the Type II (thrashing) applications of
+// Table II.
+func ExampleWorkloadsByPattern() {
+	for _, app := range hpe.WorkloadsByPattern(hpe.PatternThrashing) {
+		fmt.Println(app.Abbr, app.Name)
+	}
+	// Output:
+	// SRD srad_v2
+	// HSD hotspot3D
+	// MRQ mri-q
+	// STN stencil
+}

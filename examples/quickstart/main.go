@@ -1,0 +1,36 @@
+// Quickstart: simulate one thrashing workload (hotspot3D, Type II) under
+// LRU and under HPE at 75% oversubscription, and print the speedup — the
+// paper's headline experiment in ~20 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpe"
+)
+
+func main() {
+	app, ok := hpe.WorkloadByAbbr("HSD")
+	if !ok {
+		log.Fatal("HSD missing from the catalog")
+	}
+	tr := app.Generate()
+
+	// 75% oversubscription: only three quarters of the footprint fits.
+	capacity := tr.Footprint() * 75 / 100
+	cfg := hpe.SystemConfig(capacity)
+
+	lru := hpe.Simulate(cfg, tr, hpe.NewLRU())
+	hp := hpe.SimulateHPE(cfg, tr, hpe.DefaultHPEConfig())
+
+	fmt.Printf("workload: %s (%d pages, memory %d pages)\n", app, tr.Footprint(), capacity)
+	fmt.Printf("LRU: %v\n", lru)
+	fmt.Printf("HPE: %v\n", hp)
+	fmt.Printf("HPE speedup over LRU: %.2fx (%.0f%% fewer evictions)\n",
+		hp.IPC/lru.IPC, (1-float64(hp.Evictions)/float64(lru.Evictions))*100)
+
+	if st, ok := hpe.HPEStatsOf(hp); ok {
+		fmt.Printf("HPE classified the app as %v and used %v\n", st.Category, st.ActiveStrategy)
+	}
+}

@@ -1,0 +1,3 @@
+module hpe
+
+go 1.22

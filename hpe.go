@@ -1,0 +1,184 @@
+// Package hpe is a Go reproduction of "HPE: Hierarchical Page Eviction
+// Policy for Unified Memory in GPUs" (Yu, Childers, Huang, Qian, Wang;
+// IEEE TCAD 2019): a discrete-event GPU unified-memory simulator, the HPE
+// eviction policy, the paper's comparison policies (LRU, Random, RRIP,
+// CLOCK-Pro, Belady-MIN "Ideal", plus FIFO and LFU), synthetic generators
+// for the 23 Table II workloads, and a harness that regenerates every table
+// and figure of the evaluation.
+//
+// This package is the public facade. Quick start:
+//
+//	app, _ := hpe.WorkloadByAbbr("HSD")        // hotspot3D, Type II
+//	tr := app.Generate()                       // canonical reference string
+//	capacity := tr.Footprint() * 75 / 100      // 75% oversubscription
+//
+//	lru := hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewLRU())
+//	hp := hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, hpe.DefaultHPEConfig())
+//	fmt.Printf("speedup %.2fx\n", hp.IPC/lru.IPC)
+//
+// The full evaluation:
+//
+//	suite := hpe.NewSuite(hpe.SuiteOptions{})
+//	for _, rep := range suite.All() { fmt.Println(rep) }
+//
+// Architecture (bottom-up): internal/sim (event engine), internal/addrspace
+// (pages and page sets), internal/trace (reference strings + Belady oracle
+// index), internal/workload (Fig. 2 pattern generators, Table II catalog),
+// internal/tlb + internal/mem + internal/hir (GPU-side state), internal/uvm
+// (host driver: fault queue, HIR drains), internal/policy (baselines),
+// internal/hpe (the contribution), internal/gpu (the simulator),
+// internal/experiments (the per-figure harness). See DESIGN.md.
+package hpe
+
+import (
+	"hpe/internal/addrspace"
+	"hpe/internal/experiments"
+	"hpe/internal/gpu"
+	hpecore "hpe/internal/hpe"
+	"hpe/internal/policy"
+	"hpe/internal/trace"
+	"hpe/internal/workload"
+)
+
+// Core vocabulary re-exported from the internal packages.
+type (
+	// PageID identifies a 4-KB virtual page.
+	PageID = addrspace.PageID
+	// SetID identifies a page set (16 virtually contiguous pages by default).
+	SetID = addrspace.SetID
+	// Trace is a page-granularity reference string with kernel barriers.
+	Trace = trace.Trace
+	// App is one Table II application model.
+	App = workload.App
+	// PatternType is the Fig. 2 access-pattern taxonomy.
+	PatternType = workload.PatternType
+	// Config is the simulated-system configuration (Table I).
+	Config = gpu.Config
+	// Result summarises one simulation run.
+	Result = gpu.Result
+	// Policy is the eviction-policy contract of the UVM driver.
+	Policy = policy.Policy
+	// HPEConfig parameterises the HPE policy (Section IV).
+	HPEConfig = hpecore.Config
+	// HPEStats is HPE's internal bookkeeping snapshot.
+	HPEStats = hpecore.Stats
+	// RRIPConfig parameterises the enhanced RRIP baseline.
+	RRIPConfig = policy.RRIPConfig
+	// ReplayResult is a timing-free reference-string replay summary.
+	ReplayResult = policy.ReplayResult
+	// Suite runs the paper's experiments with shared caching.
+	Suite = experiments.Suite
+	// SuiteOptions scales the experiment suite.
+	SuiteOptions = experiments.Options
+	// Report is one experiment's rendered output and headline metrics.
+	Report = experiments.Report
+)
+
+// Pattern type constants (Fig. 2).
+const (
+	PatternStreaming           = workload.PatternStreaming
+	PatternThrashing           = workload.PatternThrashing
+	PatternPartRepetitive      = workload.PatternPartRepetitive
+	PatternMostRepetitive      = workload.PatternMostRepetitive
+	PatternRepetitiveThrashing = workload.PatternRepetitiveThrashing
+	PatternRegionMoving        = workload.PatternRegionMoving
+)
+
+// Workloads returns the 23 Table II application models.
+func Workloads() []App { return workload.Catalog() }
+
+// WorkloadByAbbr finds a catalog application by its paper abbreviation
+// (e.g. "HSD", "BFS").
+func WorkloadByAbbr(abbr string) (App, bool) { return workload.ByAbbr(abbr) }
+
+// WorkloadsByPattern returns the catalog applications with the given
+// Fig. 2 pattern type.
+func WorkloadsByPattern(p PatternType) []App { return workload.ByPattern(p) }
+
+// SystemConfig returns the paper's Table I system with the given
+// device-memory capacity in pages.
+func SystemConfig(memoryPages int) Config { return gpu.DefaultConfig(memoryPages) }
+
+// Simulate runs one trace under one policy on the Table I system.
+func Simulate(cfg Config, tr *Trace, pol Policy) Result { return gpu.Run(cfg, tr, pol) }
+
+// SimulateHPE runs the full production HPE configuration (HIR cache attached,
+// walk hits batched every 16th fault, dynamic adjustment on).
+func SimulateHPE(cfg Config, tr *Trace, hpeCfg HPEConfig) Result {
+	cfg.UseHIR = true
+	return gpu.Run(cfg, tr, hpecore.New(hpeCfg))
+}
+
+// Replay runs a timing-free reference-string replay: demand paging only, no
+// TLBs or latencies — the right tool for quick eviction-count comparisons.
+func Replay(tr *Trace, pol Policy, capacityPages int) ReplayResult {
+	return policy.Replay(tr, pol, capacityPages)
+}
+
+// DefaultHPEConfig returns the paper's published HPE parameters: 16-page
+// sets, 64-fault intervals, ratio thresholds 0.3 and 2, FIFO depth 128,
+// wrong-eviction threshold 16.
+func DefaultHPEConfig() HPEConfig { return hpecore.DefaultConfig() }
+
+// NewHPE builds an HPE policy instance (one per simulation run).
+func NewHPE(cfg HPEConfig) Policy { return hpecore.New(cfg) }
+
+// NewLRU builds a page-level LRU policy.
+func NewLRU() Policy { return policy.NewLRU() }
+
+// NewFIFO builds a FIFO policy.
+func NewFIFO() Policy { return policy.NewFIFO() }
+
+// NewLFU builds a least-frequently-used policy.
+func NewLFU() Policy { return policy.NewLFU() }
+
+// NewRandom builds a random-eviction policy with a deterministic seed.
+func NewRandom(seed int64) Policy { return policy.NewRandom(seed) }
+
+// NewRRIP builds the paper's enhanced RRIP policy. Use
+// policy-defaults via DefaultRRIPConfig / ThrashingRRIPConfig.
+func NewRRIP(cfg RRIPConfig) Policy { return policy.NewRRIP(cfg) }
+
+// DefaultRRIPConfig is the non-Type-II RRIP setup (long insertion, no delay).
+func DefaultRRIPConfig() RRIPConfig { return policy.DefaultRRIPConfig() }
+
+// ThrashingRRIPConfig is the Type-II RRIP setup (distant insertion,
+// delay threshold 128).
+func ThrashingRRIPConfig() RRIPConfig { return policy.ThrashingRRIPConfig() }
+
+// NewClockPro builds CLOCK-Pro with the paper's fixed m_c = 128.
+func NewClockPro(capacityPages int) Policy {
+	return policy.NewClockPro(capacityPages, policy.DefaultColdTarget)
+}
+
+// NewIdeal builds the offline Belady-MIN oracle over the given trace.
+func NewIdeal(tr *Trace) Policy { return policy.NewIdealFactory(tr)(0) }
+
+// NewSetLRU builds the set-granularity LRU ablation policy: HPE's eviction
+// granularity with none of its partition or classification machinery.
+func NewSetLRU() Policy { return policy.NewSetLRU(addrspace.DefaultGeometry()) }
+
+// NewClock builds the classic CLOCK second-chance policy.
+func NewClock() Policy { return policy.NewClock() }
+
+// NewNRU builds the not-recently-used policy.
+func NewNRU() Policy { return policy.NewNRU() }
+
+// NewARC builds the Adaptive Replacement Cache for the given capacity.
+func NewARC(capacityPages int) Policy { return policy.NewARC(capacityPages) }
+
+// NewSuite builds the experiment harness over the full catalog (or the
+// quick subset).
+func NewSuite(opts SuiteOptions) *Suite { return experiments.NewSuite(opts) }
+
+// ExperimentIDs lists the reproducible tables and figures in paper order.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// HPEStatsOf extracts the HPE bookkeeping from a result, when the run used
+// HPE.
+func HPEStatsOf(r Result) (HPEStats, bool) {
+	if r.HPE == nil {
+		return HPEStats{}, false
+	}
+	return *r.HPE, true
+}

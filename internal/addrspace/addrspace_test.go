@@ -1,0 +1,144 @@
+package addrspace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageOfAndBaseAddrRoundTrip(t *testing.T) {
+	cases := []struct {
+		addr VAddr
+		page PageID
+	}{
+		{0x0, 0},
+		{0xfff, 0},
+		{0x1000, 1},
+		{0x80000000, 0x80000},
+		{0x80000fff, 0x80000},
+	}
+	for _, c := range cases {
+		if got := PageOf(c.addr); got != c.page {
+			t.Errorf("PageOf(%#x) = %v, want %v", c.addr, got, c.page)
+		}
+	}
+	if PageID(5).BaseAddr() != 0x5000 {
+		t.Errorf("BaseAddr(5) = %#x, want 0x5000", PageID(5).BaseAddr())
+	}
+}
+
+func TestGeometrySetArithmetic(t *testing.T) {
+	g := DefaultGeometry()
+	if g.SetSize() != 16 {
+		t.Fatalf("default set size = %d, want 16", g.SetSize())
+	}
+	// Paper's example: page set 8000 with size 16 covers pages 0x80000..0x8000f.
+	s := SetID(0x8000)
+	if g.FirstPage(s) != PageID(0x80000) {
+		t.Errorf("FirstPage(0x8000) = %v, want page 0x80000", g.FirstPage(s))
+	}
+	for off := 0; off < 16; off++ {
+		p := g.PageAt(s, off)
+		if want := PageID(0x80000 + uint64(off)); p != want {
+			t.Errorf("PageAt(0x8000,%d) = %v, want %v", off, p, want)
+		}
+		if g.SetOf(p) != s {
+			t.Errorf("SetOf(%v) = %v, want %v", p, g.SetOf(p), s)
+		}
+		if g.Offset(p) != off {
+			t.Errorf("Offset(%v) = %d, want %d", p, g.Offset(p), off)
+		}
+	}
+}
+
+func TestGeometrySizes(t *testing.T) {
+	for _, shift := range []uint{3, 4, 5} {
+		g := NewGeometry(shift)
+		if g.SetSize() != 1<<shift {
+			t.Errorf("shift %d: size = %d, want %d", shift, g.SetSize(), 1<<shift)
+		}
+		if g.SetShift() != shift {
+			t.Errorf("shift getter = %d, want %d", g.SetShift(), shift)
+		}
+	}
+}
+
+func TestGeometryInvalidShiftPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGeometry(17) did not panic")
+		}
+	}()
+	NewGeometry(17)
+}
+
+func TestPageAtOutOfRangePanics(t *testing.T) {
+	g := DefaultGeometry()
+	defer func() {
+		if recover() == nil {
+			t.Error("PageAt with offset 16 did not panic for 16-page sets")
+		}
+	}()
+	g.PageAt(0, 16)
+}
+
+func TestPagesPerMB(t *testing.T) {
+	if got := PagesPerMB(1); got != 256 {
+		t.Errorf("PagesPerMB(1) = %d, want 256", got)
+	}
+	// Paper: footprints 3 MB..130 MB.
+	if got := PagesPerMB(3); got != 768 {
+		t.Errorf("PagesPerMB(3) = %d, want 768", got)
+	}
+	if got := PagesPerMB(130); got != 33280 {
+		t.Errorf("PagesPerMB(130) = %d, want 33280", got)
+	}
+}
+
+func TestBytesToPagesRoundsUp(t *testing.T) {
+	cases := []struct {
+		bytes uint64
+		pages int
+	}{
+		{0, 0}, {1, 1}, {4095, 1}, {4096, 1}, {4097, 2}, {8192, 2},
+	}
+	for _, c := range cases {
+		if got := BytesToPages(c.bytes); got != c.pages {
+			t.Errorf("BytesToPages(%d) = %d, want %d", c.bytes, got, c.pages)
+		}
+	}
+}
+
+// Property: for every geometry and page, SetOf/Offset decompose the page and
+// PageAt recomposes it exactly.
+func TestGeometryDecomposeRecomposeProperty(t *testing.T) {
+	f := func(raw uint64, shiftSeed uint8) bool {
+		shift := uint(shiftSeed % 17)
+		g := NewGeometry(shift)
+		p := PageID(raw >> 16) // keep headroom so SetID<<shift cannot overflow
+		s := g.SetOf(p)
+		off := g.Offset(p)
+		return g.PageAt(s, off) == p && off >= 0 && off < g.SetSize()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pages in the same set are within SetSize of each other and share
+// every address bit above the set shift.
+func TestGeometrySetContiguityProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		g := DefaultGeometry()
+		s := SetID(raw)
+		first := g.FirstPage(s)
+		for off := 0; off < g.SetSize(); off++ {
+			if g.PageAt(s, off) != first+PageID(off) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

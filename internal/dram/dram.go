@@ -1,0 +1,118 @@
+// Package dram models Table I's device memory: GDDR5 across 12 channels
+// with an FR-FCFS-flavoured row-buffer policy and 177 GB/s aggregate
+// bandwidth. The model is deliberately coarse — per-channel service
+// occupancy plus open-row state — because the paper's results are driven by
+// page faults, not DRAM microtiming; the data path exists to complete the
+// Table I configuration for the datapath extension study.
+package dram
+
+import (
+	"fmt"
+
+	"hpe/internal/cache"
+	"hpe/internal/sim"
+)
+
+// Config sizes the DRAM model.
+type Config struct {
+	// Channels is the channel count (Table I: 12).
+	Channels int
+	// RowHit and RowMiss are the access latencies in core cycles for an
+	// open-row hit and a row activation respectively.
+	RowHit, RowMiss sim.Cycle
+	// ServiceCycles is the per-access channel occupancy (bandwidth):
+	// 128 B / (177 GB/s ÷ 12 channels) ≈ 8.7 ns ≈ 12 cycles at 1.4 GHz.
+	ServiceCycles sim.Cycle
+	// RowBytes is the row-buffer size per channel bank (2 KB typical).
+	RowBytes int
+	// InterleaveLines is the channel-interleave granularity in cache lines
+	// (4 lines = 512 B, a typical GDDR5 stride balancing row locality
+	// against channel parallelism).
+	InterleaveLines int
+}
+
+// DefaultConfig returns the Table I GDDR5 parameters at 1.4 GHz.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        12,
+		RowHit:          28, // ~20 ns
+		RowMiss:         56, // ~40 ns
+		ServiceCycles:   12, // 177 GB/s aggregate across 12 channels
+		RowBytes:        2048,
+		InterleaveLines: 4,
+	}
+}
+
+type channel struct {
+	freeAt  sim.Cycle
+	openRow uint64
+	hasRow  bool
+}
+
+// DRAM is the channel-level device-memory model.
+type DRAM struct {
+	cfg      Config
+	channels []channel
+
+	accesses uint64
+	rowHits  uint64
+	waits    sim.Cycle
+}
+
+// New builds the DRAM model.
+func New(cfg Config) *DRAM {
+	if cfg.Channels <= 0 || cfg.RowHit <= 0 || cfg.RowMiss < cfg.RowHit ||
+		cfg.ServiceCycles <= 0 || cfg.RowBytes < cache.LineBytes || cfg.InterleaveLines <= 0 {
+		panic(fmt.Sprintf("dram: bad config %+v", cfg))
+	}
+	return &DRAM{cfg: cfg, channels: make([]channel, cfg.Channels)}
+}
+
+// Access services one line read beginning no earlier than `now` and returns
+// the completion cycle. Channels interleave at InterleaveLines granularity;
+// the row buffer covers RowBytes of the channel's own address slice.
+func (d *DRAM) Access(now sim.Cycle, l cache.LineID) sim.Cycle {
+	d.accesses++
+	chunk := uint64(l) / uint64(d.cfg.InterleaveLines)
+	ch := &d.channels[chunk%uint64(d.cfg.Channels)]
+	// The channel-local address: which of the channel's chunks, plus the
+	// offset inside the chunk.
+	local := chunk/uint64(d.cfg.Channels)*uint64(d.cfg.InterleaveLines) +
+		uint64(l)%uint64(d.cfg.InterleaveLines)
+	row := local * cache.LineBytes / uint64(d.cfg.RowBytes)
+
+	start := now
+	if ch.freeAt > start {
+		d.waits += ch.freeAt - start
+		start = ch.freeAt
+	}
+	lat := d.cfg.RowMiss
+	if ch.hasRow && ch.openRow == row {
+		lat = d.cfg.RowHit
+		d.rowHits++
+	}
+	ch.openRow, ch.hasRow = row, true
+	done := start + lat
+	ch.freeAt = start + d.cfg.ServiceCycles
+	return done
+}
+
+// Stats summarises DRAM behaviour.
+type Stats struct {
+	Accesses uint64
+	RowHits  uint64
+	// RowHitRate is the open-row hit fraction.
+	RowHitRate float64
+	// MeanQueueWait is the average cycles an access waited for its channel.
+	MeanQueueWait float64
+}
+
+// Stats returns cumulative counters.
+func (d *DRAM) Stats() Stats {
+	s := Stats{Accesses: d.accesses, RowHits: d.rowHits}
+	if d.accesses > 0 {
+		s.RowHitRate = float64(d.rowHits) / float64(d.accesses)
+		s.MeanQueueWait = float64(d.waits) / float64(d.accesses)
+	}
+	return s
+}

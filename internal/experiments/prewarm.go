@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"hpe/internal/gpu"
+	"hpe/internal/workload"
+)
+
+// Prewarm runs the standard (app × policy × rate) grid concurrently and
+// fills the result cache, so the subsequent single-threaded experiment
+// functions hit the cache. Each simulation is independent and deterministic,
+// so the merged results are identical to a serial run. workers ≤ 1 is a
+// no-op.
+func (s *Suite) Prewarm(workers int) {
+	if workers <= 1 {
+		return
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+
+	// Generate traces and future indexes up front, single-threaded: they are
+	// shared read-only by the workers.
+	for _, app := range s.apps {
+		s.Trace(app)
+		s.future(app)
+	}
+
+	type job struct {
+		app  workload.App
+		kind PolicyKind
+		rate int
+	}
+	var jobs []job
+	for _, app := range s.apps {
+		for _, kind := range ComparisonPolicies {
+			for _, rate := range Rates {
+				key := runKey{app: app.Abbr, kind: kind, ratePct: rate}
+				if _, done := s.results[key]; !done {
+					jobs = append(jobs, job{app: app, kind: kind, rate: rate})
+				}
+			}
+		}
+	}
+
+	results := make([]gpu.Result, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				j := jobs[i]
+				tr := s.traces[j.app.Abbr]
+				capacity := capacityFor(tr, j.rate)
+				cfg := s.simConfig(j.app, capacity, j.kind)
+				pol := s.buildPolicy(j.kind, j.app, capacity)
+				results[i] = gpu.Run(cfg, tr, pol)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, j := range jobs {
+		s.results[runKey{app: j.app.Abbr, kind: j.kind, ratePct: j.rate}] = results[i]
+		if s.opts.Progress != nil {
+			s.opts.Progress(results[i].String())
+		}
+	}
+}

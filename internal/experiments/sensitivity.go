@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/gpu"
+	"hpe/internal/hpe"
+	"hpe/internal/policy"
+	"hpe/internal/stats"
+	"hpe/internal/trace"
+	"hpe/internal/workload"
+)
+
+// manualStrategy returns the per-application strategy the paper's
+// sensitivity methodology assigns manually: MRU-C for the regular
+// applications (Types I–III except the KMN/SAD outliers, plus SGM), LRU for
+// the rest.
+func manualStrategy(app workload.App) hpe.Strategy {
+	switch app.Pattern {
+	case workload.PatternStreaming, workload.PatternThrashing:
+		return hpe.StrategyMRUC
+	case workload.PatternPartRepetitive:
+		if app.Abbr == "KMN" || app.Abbr == "SAD" {
+			return hpe.StrategyLRU
+		}
+		return hpe.StrategyMRUC
+	default:
+		if app.Abbr == "SGM" {
+			return hpe.StrategyMRUC
+		}
+		return hpe.StrategyLRU
+	}
+}
+
+// sensitivityHPE builds the Figs. 7–8 HPE variant: dynamic adjustment off,
+// manual strategy, ideal (HIR-free) hit feed.
+func sensitivityHPE(app workload.App, g addrspace.Geometry, interval int) *hpe.HPE {
+	cfg := hpe.ConfigForGeometry(g, interval)
+	cfg.DynamicAdjustment = false
+	cfg.IdealHitFeed = true
+	strat := manualStrategy(app)
+	cfg.ManualStrategy = &strat
+	return hpe.New(cfg)
+}
+
+// Fig7 reproduces Fig. 7: HPE's sensitivity to the page-set size (8/16/32
+// pages) at interval length 64, reported as the average IPC per pattern
+// type normalised to size 8, at 75% oversubscription.
+func (s *Suite) Fig7() Report {
+	sizes := []uint{3, 4, 5} // set-size shifts: 8, 16, 32 pages
+	return s.sensitivityReport("fig7", "Sensitivity to page-set size (normalised to size 8)",
+		[]string{"size 8", "size 16", "size 32"},
+		func(app workload.App, variant int) gpu.Result {
+			shift := sizes[variant]
+			return s.RunVariant(app, KindHPE, 75, fmt.Sprintf("setsize%d", 1<<shift),
+				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+					cfg := s.simConfig(app, capacity, KindHPE)
+					cfg.UseHIR = false
+					return cfg, sensitivityHPE(app, addrspace.NewGeometry(shift), 64)
+				})
+		})
+}
+
+// Fig8 reproduces Fig. 8: sensitivity to the interval length (32/64/128
+// faults) at page-set size 16, normalised to interval 32.
+func (s *Suite) Fig8() Report {
+	intervals := []int{32, 64, 128}
+	return s.sensitivityReport("fig8", "Sensitivity to interval length (normalised to 32)",
+		[]string{"interval 32", "interval 64", "interval 128"},
+		func(app workload.App, variant int) gpu.Result {
+			iv := intervals[variant]
+			return s.RunVariant(app, KindHPE, 75, fmt.Sprintf("interval%d", iv),
+				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+					cfg := s.simConfig(app, capacity, KindHPE)
+					cfg.UseHIR = false
+					return cfg, sensitivityHPE(app, addrspace.DefaultGeometry(), iv)
+				})
+		})
+}
+
+// sensitivityReport runs three configuration variants over every app and
+// reports average IPC per pattern type, normalised to the first variant.
+func (s *Suite) sensitivityReport(id, title string, labels []string,
+	run func(app workload.App, variant int) gpu.Result) Report {
+	tb := stats.NewTable(append([]string{"pattern"}, labels...)...)
+	metrics := map[string]float64{}
+	byType := map[workload.PatternType][][]float64{} // pattern → variant → IPCs
+	for _, app := range s.apps {
+		for v := range labels {
+			r := run(app, v)
+			for len(byType[app.Pattern]) <= v {
+				byType[app.Pattern] = append(byType[app.Pattern], nil)
+			}
+			byType[app.Pattern][v] = append(byType[app.Pattern][v], r.IPC)
+		}
+	}
+	var spreadMax float64
+	for _, pt := range workload.PatternTypes() {
+		variants, ok := byType[pt]
+		if !ok {
+			continue
+		}
+		base := stats.Mean(variants[0])
+		row := []any{pt.String()}
+		for v := range variants {
+			norm := stats.Mean(variants[v]) / base
+			row = append(row, norm)
+			metrics[fmt.Sprintf("%s/v%d", pt, v)] = norm
+			if d := absf(norm - 1); d > spreadMax {
+				spreadMax = d
+			}
+		}
+		tb.AddRowf(row...)
+	}
+	metrics["maxSpread"] = spreadMax
+	text := tb.Render() + fmt.Sprintf("\nmax deviation from baseline: %.1f%%\n"+
+		"paper: variants differ by at most ~10–12%%\n", spreadMax*100)
+	return Report{ID: id, Title: title, Text: text, Metrics: metrics}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TransferInterval reproduces the §V-A transfer-interval sensitivity test:
+// full HPE (HIR + adjustment) with the hit-information transfer every 1, 8,
+// 16, 32 and 64 page faults; mean IPC normalised to the paper's choice (16).
+func (s *Suite) TransferInterval() Report {
+	intervals := []int{1, 8, 16, 32, 64}
+	tb := stats.NewTable("transfer interval", "geomean IPC vs t=16", "mean HIR cycles/run")
+	metrics := map[string]float64{}
+	base := map[string]float64{}
+	for _, app := range s.apps {
+		r := s.Run(app, KindHPE, 75) // default: interval 16
+		base[app.Abbr] = r.IPC
+	}
+	for _, iv := range intervals {
+		var norms []float64
+		var hirCycles []float64
+		for _, app := range s.apps {
+			var r gpu.Result
+			if iv == 16 {
+				r = s.Run(app, KindHPE, 75)
+			} else {
+				iv := iv
+				r = s.RunVariant(app, KindHPE, 75, fmt.Sprintf("transfer%d", iv),
+					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+						cfg := s.simConfig(app, capacity, KindHPE)
+						cfg.Driver.TransferInterval = iv
+						return cfg, hpe.New(hpe.DefaultConfig())
+					})
+			}
+			norms = append(norms, r.IPC/base[app.Abbr])
+			hirCycles = append(hirCycles, float64(r.Driver.HIRTransferCycles))
+		}
+		g := stats.GeoMean(norms)
+		metrics[fmt.Sprintf("norm/%d", iv)] = g
+		tb.AddRow(fmt.Sprint(iv), fmt.Sprintf("%.4f", g), fmt.Sprintf("%.0f", stats.Mean(hirCycles)))
+	}
+	text := tb.Render() + "\npaper: 16 makes the best tradeoff between frequency and performance\n"
+	return Report{ID: "transfer", Title: "Transfer-interval sensitivity (§V-A)", Text: text, Metrics: metrics}
+}
+
+// WalkLatency reproduces the §V-B page-walk-latency study: LRU and HPE at
+// walk latencies of 8 and 20 cycles.
+func (s *Suite) WalkLatency() Report {
+	tb := stats.NewTable("policy", "geomean IPC walk=8", "geomean IPC walk=20", "delta")
+	metrics := map[string]float64{}
+	var b strings.Builder
+	for _, kind := range []PolicyKind{KindLRU, KindHPE} {
+		var ipc8, ipc20 []float64
+		for _, app := range s.apps {
+			r8 := s.Run(app, kind, 75)
+			kindC := kind
+			r20 := s.RunVariant(app, kind, 75, "walk20",
+				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+					cfg := s.simConfig(app, capacity, kindC)
+					cfg.WalkLatency = 20
+					return cfg, s.buildPolicy(kindC, app, capacity)
+				})
+			ipc8 = append(ipc8, r8.IPC)
+			ipc20 = append(ipc20, r20.IPC)
+		}
+		g8, g20 := stats.GeoMean(ipc8), stats.GeoMean(ipc20)
+		delta := (g20 - g8) / g8
+		metrics[fmt.Sprintf("delta/%s", kind)] = delta
+		tb.AddRow(kind.String(), fmt.Sprintf("%.4f", g8), fmt.Sprintf("%.4f", g20),
+			fmt.Sprintf("%+.2f%%", delta*100))
+	}
+	b.WriteString(tb.Render())
+	b.WriteString("\npaper: minimal performance difference between 8 and 20 cycles\n")
+	return Report{ID: "walklat", Title: "Page-walk-latency sensitivity (§V-B)", Text: b.String(), Metrics: metrics}
+}

@@ -1,0 +1,243 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V). Each experiment is a function on a Suite; the
+// Suite caches generated traces and simulation results so that figures
+// sharing runs (e.g. Figs. 10–15 all reuse the HPE runs) pay for them once.
+//
+// DESIGN.md §5 maps each experiment to its paper counterpart; EXPERIMENTS.md
+// records paper-reported vs measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hpe/internal/gpu"
+	"hpe/internal/hpe"
+	"hpe/internal/policy"
+	"hpe/internal/sim"
+	"hpe/internal/trace"
+	"hpe/internal/workload"
+)
+
+// PolicyKind enumerates the policies the evaluation compares.
+type PolicyKind int
+
+const (
+	// KindLRU is page-level LRU under the ideal feed.
+	KindLRU PolicyKind = iota
+	// KindRandom evicts a uniformly random resident page.
+	KindRandom
+	// KindRRIP is the paper's enhanced RRIP-FP.
+	KindRRIP
+	// KindClockPro is CLOCK-Pro with fixed m_c = 128.
+	KindClockPro
+	// KindIdeal is the offline Belady-MIN upper bound.
+	KindIdeal
+	// KindHPE is the full production HPE: HIR + dynamic adjustment.
+	KindHPE
+	// KindFIFO and KindLFU are extra reference points (not in the paper's
+	// comparison set; used by the ablation benches).
+	KindFIFO
+	KindLFU
+)
+
+// String names the policy as the paper does.
+func (k PolicyKind) String() string {
+	switch k {
+	case KindLRU:
+		return "LRU"
+	case KindRandom:
+		return "Random"
+	case KindRRIP:
+		return "RRIP"
+	case KindClockPro:
+		return "CLOCK-Pro"
+	case KindIdeal:
+		return "Ideal"
+	case KindHPE:
+		return "HPE"
+	case KindFIFO:
+		return "FIFO"
+	case KindLFU:
+		return "LFU"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// ComparisonPolicies is the paper's Fig. 12 policy set.
+var ComparisonPolicies = []PolicyKind{KindLRU, KindRandom, KindRRIP, KindClockPro, KindHPE, KindIdeal}
+
+// Options scales the experiment suite.
+type Options struct {
+	// Quick restricts runs to a representative subset of applications (one
+	// or two per pattern type), for smoke runs and benchmarks.
+	Quick bool
+	// Seed feeds the Random policy.
+	Seed int64
+	// Progress, when non-nil, receives a line per completed simulation.
+	Progress func(string)
+}
+
+// Suite owns the cached traces and results.
+type Suite struct {
+	opts    Options
+	apps    []workload.App
+	traces  map[string]*trace.Trace
+	futures map[string]*trace.FutureIndex
+	results map[runKey]gpu.Result
+}
+
+type runKey struct {
+	app     string
+	kind    PolicyKind
+	ratePct int
+	variant string // "" for the default configuration
+}
+
+// NewSuite builds a suite over the full Table II catalog (or the quick
+// subset).
+func NewSuite(opts Options) *Suite {
+	s := &Suite{
+		opts:    opts,
+		traces:  make(map[string]*trace.Trace),
+		futures: make(map[string]*trace.FutureIndex),
+		results: make(map[runKey]gpu.Result),
+	}
+	if opts.Quick {
+		for _, abbr := range []string{"HOT", "GEM", "HSD", "STN", "PAT", "KMN", "NW", "BFS", "SGM", "B+T"} {
+			app, ok := workload.ByAbbr(abbr)
+			if !ok {
+				panic("experiments: quick subset references unknown app " + abbr)
+			}
+			s.apps = append(s.apps, app)
+		}
+	} else {
+		s.apps = workload.Catalog()
+	}
+	return s
+}
+
+// Apps returns the applications in play.
+func (s *Suite) Apps() []workload.App { return s.apps }
+
+// Trace returns (and caches) the app's canonical trace.
+func (s *Suite) Trace(app workload.App) *trace.Trace {
+	if tr, ok := s.traces[app.Abbr]; ok {
+		return tr
+	}
+	tr := app.Generate()
+	s.traces[app.Abbr] = tr
+	return tr
+}
+
+func (s *Suite) future(app workload.App) *trace.FutureIndex {
+	if fi, ok := s.futures[app.Abbr]; ok {
+		return fi
+	}
+	fi := trace.BuildFutureIndex(s.Trace(app))
+	s.futures[app.Abbr] = fi
+	return fi
+}
+
+// capacityFor translates an oversubscription rate into a device-memory size:
+// a rate of 75% means 75% of the application footprint fits.
+func capacityFor(tr *trace.Trace, ratePct int) int {
+	c := int(math.Ceil(float64(tr.Footprint()) * float64(ratePct) / 100))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// buildPolicy constructs a fresh policy instance for one run. RRIP is
+// configured per the paper: Type II applications get distant insertion with
+// a delay threshold of 128; everything else long insertion with threshold 0.
+func (s *Suite) buildPolicy(kind PolicyKind, app workload.App, capacity int) policy.Policy {
+	switch kind {
+	case KindLRU:
+		return policy.NewLRU()
+	case KindFIFO:
+		return policy.NewFIFO()
+	case KindLFU:
+		return policy.NewLFU()
+	case KindRandom:
+		return policy.NewRandom(s.opts.Seed + 1)
+	case KindRRIP:
+		cfg := policy.DefaultRRIPConfig()
+		if app.Pattern == workload.PatternThrashing {
+			cfg = policy.ThrashingRRIPConfig()
+		}
+		return policy.NewRRIP(cfg)
+	case KindClockPro:
+		return policy.NewClockPro(capacity, policy.DefaultColdTarget)
+	case KindIdeal:
+		return policy.NewIdeal(s.future(app))
+	case KindHPE:
+		return hpe.New(hpe.DefaultConfig())
+	default:
+		panic(fmt.Sprintf("experiments: unknown policy kind %d", int(kind)))
+	}
+}
+
+// simConfig builds the Table I system for one run.
+func (s *Suite) simConfig(app workload.App, capacity int, kind PolicyKind) gpu.Config {
+	cfg := gpu.DefaultConfig(capacity)
+	cfg.ComputeGap = sim.Cycle(max(0, app.ComputeGap))
+	if kind == KindHPE {
+		cfg.UseHIR = true
+	}
+	return cfg
+}
+
+// Run returns the cached or freshly simulated result for (app, policy, rate).
+func (s *Suite) Run(app workload.App, kind PolicyKind, ratePct int) gpu.Result {
+	key := runKey{app: app.Abbr, kind: kind, ratePct: ratePct}
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	tr := s.Trace(app)
+	capacity := capacityFor(tr, ratePct)
+	cfg := s.simConfig(app, capacity, kind)
+	pol := s.buildPolicy(kind, app, capacity)
+	r := gpu.Run(cfg, tr, pol)
+	s.results[key] = r
+	if s.opts.Progress != nil {
+		s.opts.Progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", app.Abbr, kind, ratePct, r))
+	}
+	return r
+}
+
+// RunVariant simulates with a caller-customised configuration, cached under
+// the variant label. The mutate callback may adjust both the system config
+// and swap the policy.
+func (s *Suite) RunVariant(app workload.App, kind PolicyKind, ratePct int, variant string,
+	build func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy)) gpu.Result {
+	key := runKey{app: app.Abbr, kind: kind, ratePct: ratePct, variant: variant}
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	tr := s.Trace(app)
+	capacity := capacityFor(tr, ratePct)
+	cfg, pol := build(tr, capacity)
+	r := gpu.Run(cfg, tr, pol)
+	s.results[key] = r
+	if s.opts.Progress != nil {
+		s.opts.Progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", app.Abbr, kind, ratePct, variant, r))
+	}
+	return r
+}
+
+// Report is an experiment's rendered output plus its headline numbers for
+// programmatic checks (tests, EXPERIMENTS.md generation).
+type Report struct {
+	ID      string
+	Title   string
+	Text    string
+	Metrics map[string]float64
+}
+
+// String renders the report.
+func (r Report) String() string {
+	return fmt.Sprintf("=== %s: %s ===\n%s", r.ID, r.Title, r.Text)
+}

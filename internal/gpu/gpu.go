@@ -1,0 +1,504 @@
+// Package gpu is the top of the simulator stack: a discrete-event model of a
+// GTX-480-class GPU's memory system running a page-granularity access trace
+// under unified memory with demand paging (Table I configuration).
+//
+// Model summary (see DESIGN.md §3):
+//
+//   - 15 SMs, each with WarpsPerSM warp slots and a 1-access-per-cycle issue
+//     port. Accesses are dispatched from the global trace in canonical order
+//     to whichever slot frees up next, approximating a massively parallel
+//     grid marching through its input.
+//   - Translation: per-SM L1 TLB (1 cycle) → shared L2 TLB (10 cycles) →
+//     page-table walk (8 cycles). Concurrent walks for the same page merge
+//     (walker MSHRs). Walk hits are reported to the driver (feeding the
+//     baselines' ideal model and HPE's HIR); walk misses raise replayable
+//     far-faults: the faulting warp blocks, everything else keeps going.
+//   - Far-faults queue at the UVM driver (internal/uvm): 20 µs each,
+//     serviced in order with duplicate coalescing, evicting via the active
+//     policy when device memory is full. Evictions shoot down TLB entries.
+//   - IPC: every access counts as 1 memory instruction + ComputeGap compute
+//     instructions; IPC = instructions / total cycles.
+package gpu
+
+import (
+	"fmt"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/cache"
+	"hpe/internal/dram"
+	"hpe/internal/hir"
+	"hpe/internal/hpe"
+	"hpe/internal/mem"
+	"hpe/internal/policy"
+	"hpe/internal/ptw"
+	"hpe/internal/sim"
+	"hpe/internal/tlb"
+	"hpe/internal/trace"
+	"hpe/internal/uvm"
+)
+
+// TranslationDesign selects the address-translation organisation (§II of
+// the paper, citing Power et al. and Ausavarungnirun et al.).
+type TranslationDesign int
+
+const (
+	// DesignL2TLB is the paper's adopted design: per-SM L1 TLBs backed by a
+	// shared L2 TLB, with a fixed-latency single-level walk.
+	DesignL2TLB TranslationDesign = iota
+	// DesignPWC is the alternative: per-SM L1 TLBs backed by a shared
+	// page-walk cache inside a radix page-table walker (no L2 TLB). The
+	// paper rejects it "due to better performance" of the L2 TLB — the
+	// "translation" extension experiment reproduces that comparison.
+	DesignPWC
+)
+
+// String names the design.
+func (d TranslationDesign) String() string {
+	if d == DesignPWC {
+		return "PWC"
+	}
+	return "L2TLB"
+}
+
+// Config is the full simulated-system configuration (Table I defaults).
+type Config struct {
+	// SMs is the number of streaming multiprocessors (15).
+	SMs int
+	// WarpsPerSM is the number of concurrently resident warp slots per SM.
+	WarpsPerSM int
+	// CoreMHz is the core clock (1400).
+	CoreMHz float64
+
+	// L1TLBEntries/Ways: per-SM private L1 TLB (128-entry, fully assoc.).
+	L1TLBEntries, L1TLBWays int
+	// L2TLBEntries/Ways: shared L2 TLB (512-entry, 16-way).
+	L2TLBEntries, L2TLBWays int
+	// L1TLBLatency, L2TLBLatency, WalkLatency in cycles (1, 10, 8).
+	L1TLBLatency, L2TLBLatency, WalkLatency sim.Cycle
+
+	// Translation selects the address-translation design (default: the
+	// paper's shared L2 TLB).
+	Translation TranslationDesign
+	// PTW configures the radix walker used by DesignPWC.
+	PTW ptw.Config
+
+	// MemoryPages is the device-memory capacity in pages; the experiment
+	// harness sets it to 75% or 50% of the workload footprint.
+	MemoryPages int
+	// ComputeGap is the per-access compute-instruction count (workload
+	// dependent).
+	ComputeGap sim.Cycle
+
+	// Driver is the UVM runtime configuration.
+	Driver uvm.Config
+	// UseHIR attaches a HIR cache and routes walk hits through it (HPE's
+	// production configuration).
+	UseHIR bool
+	// HIR is the HIR cache geometry (used when UseHIR).
+	HIR hir.Config
+
+	// ModelDataPath sends every access through the Table I data hierarchy
+	// (per-SM L1D → shared L2 → GDDR5 channels) after translation. Off by
+	// default: the paper's results are fault-driven, and the calibrated
+	// reproduction numbers are measured without data microtiming. The
+	// "datapath" extension study turns it on.
+	ModelDataPath bool
+	// DataL1 and DataL2 size the data caches (Table I defaults).
+	DataL1, DataL2 cache.Config
+	// DataL1Latency and DataL2Latency are the hit latencies in cycles.
+	DataL1Latency, DataL2Latency sim.Cycle
+	// DRAM configures the channel model.
+	DRAM dram.Config
+
+	// Prepopulate maps the workload's entire footprint before the first
+	// access (requires MemoryPages >= footprint). No demand faults occur, so
+	// the run isolates the memory system's translation behaviour — how the
+	// §II translation-design study measures the L2-TLB vs page-walk-cache
+	// choice.
+	Prepopulate bool
+
+	// MaxCycles aborts a runaway simulation; 0 means unlimited.
+	MaxCycles sim.Cycle
+}
+
+// DefaultConfig returns the Table I system with the given device-memory
+// capacity in pages.
+func DefaultConfig(memoryPages int) Config {
+	return Config{
+		SMs:          15,
+		WarpsPerSM:   48,
+		CoreMHz:      1400,
+		L1TLBEntries: 128, L1TLBWays: 128,
+		L2TLBEntries: 512, L2TLBWays: 16,
+		L1TLBLatency: 1, L2TLBLatency: 10, WalkLatency: 8,
+		PTW:           ptw.DefaultConfig(),
+		DataL1:        cache.L1Config(),
+		DataL2:        cache.L2Config(),
+		DataL1Latency: 4, DataL2Latency: 30,
+		DRAM:        dram.DefaultConfig(),
+		MemoryPages: memoryPages,
+		ComputeGap:  4,
+		Driver:      uvm.DefaultConfig(),
+		HIR:         hir.DefaultConfig(),
+	}
+}
+
+// Result summarises one simulation run.
+type Result struct {
+	Workload string
+	Policy   string
+
+	Cycles       sim.Cycle
+	Accesses     uint64
+	Instructions uint64
+	IPC          float64
+
+	Faults    uint64
+	Evictions uint64
+	Coalesced uint64
+	WalkHits  uint64
+	Walks     uint64
+	// WalkMerges counts accesses that joined an already in-flight walk for
+	// the same page (walker MSHR hits).
+	WalkMerges uint64
+	// BarriersCrossed counts kernel boundaries synchronised on.
+	BarriersCrossed uint64
+
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+
+	Driver uvm.Stats
+	HIR    *hir.Stats
+	HPE    *hpe.Stats
+	// PTW carries the radix-walker statistics when the PWC design is active.
+	PTW *ptw.Stats
+	// Data-path statistics (ModelDataPath runs only).
+	DataL1Hits, DataL1Misses uint64
+	DataL2Hits, DataL2Misses uint64
+	DRAM                     *dram.Stats
+
+	// TimedOut reports that MaxCycles stopped the run early.
+	TimedOut bool
+}
+
+// Runtime returns the simulated wall-clock time in seconds.
+func (r Result) Runtime(coreMHz float64) float64 {
+	return float64(r.Cycles) / (coreMHz * 1e6)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%-6s %-10s cycles=%-12d IPC=%-8.3f faults=%-7d evictions=%-7d walkHits=%d",
+		r.Workload, r.Policy, r.Cycles, r.IPC, r.Faults, r.Evictions, r.WalkHits)
+}
+
+type continuation struct {
+	smID int
+	seq  int
+}
+
+type smState struct {
+	id        int
+	l1        *tlb.TLB
+	l1d       *cache.Cache // nil unless ModelDataPath
+	nextIssue sim.Cycle
+}
+
+// Simulator runs one (trace, policy, config) combination.
+type Simulator struct {
+	cfg    Config
+	tr     *trace.Trace
+	pol    policy.Policy
+	engine *sim.Engine
+	memory *mem.DeviceMemory
+	driver *uvm.Driver
+	l2     *tlb.TLB
+	pwalk  *ptw.Walker  // non-nil under DesignPWC
+	l2d    *cache.Cache // nil unless ModelDataPath
+	dramC  *dram.DRAM   // nil unless ModelDataPath
+	sms    []*smState
+	hirC   *hir.Cache
+
+	cursor      int
+	walkWaiters map[addrspace.PageID][]continuation
+	completed   uint64
+	walkHits    uint64
+	walks       uint64
+	walkMerges  uint64
+
+	// Kernel-boundary handling: slots that reached the next barrier park in
+	// stalled until every access before the barrier completes.
+	barrierIdx int
+	stalled    []*smState
+	barriers   uint64 // crossed, for stats
+}
+
+// New builds a simulator. The policy must be fresh (one policy instance per
+// run).
+func New(cfg Config, tr *trace.Trace, pol policy.Policy) *Simulator {
+	if cfg.SMs <= 0 || cfg.WarpsPerSM <= 0 {
+		panic(fmt.Sprintf("gpu: bad SM configuration %d×%d", cfg.SMs, cfg.WarpsPerSM))
+	}
+	if cfg.MemoryPages <= 0 {
+		panic("gpu: MemoryPages must be positive")
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		tr:          tr,
+		pol:         pol,
+		engine:      sim.NewEngine(),
+		memory:      mem.NewDeviceMemory(cfg.MemoryPages),
+		l2:          tlb.New("L2", cfg.L2TLBEntries, cfg.L2TLBWays),
+		walkWaiters: make(map[addrspace.PageID][]continuation),
+	}
+	if cfg.UseHIR {
+		s.hirC = hir.New(cfg.HIR)
+	}
+	if cfg.Translation == DesignPWC {
+		s.pwalk = ptw.New(cfg.PTW)
+	}
+	if cfg.ModelDataPath {
+		s.l2d = cache.New(cfg.DataL2)
+		s.dramC = dram.New(cfg.DRAM)
+	}
+	s.driver = uvm.New(cfg.Driver, s.engine, s.memory, pol, s.hirC, s.invalidate)
+	for i := 0; i < cfg.SMs; i++ {
+		sm := &smState{
+			id: i,
+			l1: tlb.New(fmt.Sprintf("L1-%d", i), cfg.L1TLBEntries, cfg.L1TLBWays),
+		}
+		if cfg.ModelDataPath {
+			sm.l1d = cache.New(cfg.DataL1)
+		}
+		s.sms = append(s.sms, sm)
+	}
+	if cfg.MaxCycles > 0 {
+		s.engine.SetLimit(cfg.MaxCycles)
+	}
+	return s
+}
+
+// invalidate shoots down TLB entries (and, on the data path, cache lines)
+// for an evicted page.
+func (s *Simulator) invalidate(p addrspace.PageID) {
+	s.l2.Invalidate(p)
+	for _, sm := range s.sms {
+		sm.l1.Invalidate(p)
+		if sm.l1d != nil {
+			sm.l1d.InvalidatePage(p)
+		}
+	}
+	if s.l2d != nil {
+		s.l2d.InvalidatePage(p)
+	}
+}
+
+// dataLatency runs one access through the data hierarchy, synthesising a
+// line within the page from the access sequence number (a page-granularity
+// trace cannot carry line offsets; the 7-stride spread exercises row
+// buffers and cache sets representatively).
+func (s *Simulator) dataLatency(sm *smState, page addrspace.PageID, seq int) sim.Cycle {
+	const linesPerPage = addrspace.PageBytes / cache.LineBytes
+	l := cache.LineOf(page.BaseAddr()) + cache.LineID(seq%linesPerPage)
+	if sm.l1d.Access(l) {
+		return s.cfg.DataL1Latency
+	}
+	if s.l2d.Access(l) {
+		return s.cfg.DataL1Latency + s.cfg.DataL2Latency
+	}
+	now := s.engine.Now()
+	done := s.dramC.Access(now+s.cfg.DataL1Latency+s.cfg.DataL2Latency, l)
+	return done - now
+}
+
+// dispatch hands the next trace access to a freed warp slot of SM sm. At a
+// kernel boundary the slot parks until the preceding kernel drains.
+func (s *Simulator) dispatch(sm *smState) {
+	if s.cursor >= s.tr.Len() {
+		return
+	}
+	if s.barrierIdx < len(s.tr.Barriers) && s.cursor == s.tr.Barriers[s.barrierIdx] {
+		if int(s.completed) < s.cursor {
+			s.stalled = append(s.stalled, sm)
+			return
+		}
+		s.barrierIdx++
+		s.barriers++
+	}
+	seq := s.cursor
+	s.cursor++
+	issueAt := s.engine.Now()
+	if sm.nextIssue >= issueAt {
+		issueAt = sm.nextIssue + 1
+	}
+	sm.nextIssue = issueAt
+	s.engine.At(issueAt, func() { s.issue(sm, seq) })
+}
+
+// issue runs the translation path for access seq on SM sm.
+func (s *Simulator) issue(sm *smState, seq int) {
+	page := s.tr.Refs[seq]
+	if sm.l1.Lookup(page) {
+		s.finish(sm, page, seq, s.cfg.L1TLBLatency)
+		return
+	}
+	if s.pwalk == nil {
+		if s.l2.Lookup(page) {
+			sm.l1.Fill(page)
+			s.finish(sm, page, seq, s.cfg.L1TLBLatency+s.cfg.L2TLBLatency)
+			return
+		}
+	}
+	// Page walk, with MSHR-style merging of concurrent walks.
+	cont := continuation{smID: sm.id, seq: seq}
+	if ws, ok := s.walkWaiters[page]; ok {
+		s.walkWaiters[page] = append(ws, cont)
+		s.walkMerges++
+		return
+	}
+	s.walkWaiters[page] = []continuation{cont}
+	s.walks++
+	var delay sim.Cycle
+	if s.pwalk != nil {
+		delay = s.cfg.L1TLBLatency + s.pwalk.WalkLatency(page)
+	} else {
+		delay = s.cfg.L1TLBLatency + s.cfg.L2TLBLatency + s.cfg.WalkLatency
+	}
+	s.engine.After(delay, func() { s.finishWalk(page) })
+}
+
+// finishWalk resolves a completed page-table walk.
+func (s *Simulator) finishWalk(page addrspace.PageID) {
+	conts := s.walkWaiters[page]
+	delete(s.walkWaiters, page)
+	if s.memory.Resident(page) {
+		s.walkHits++
+		s.driver.RecordWalkHit(page, conts[0].seq)
+		s.fillAndWake(page, conts)
+		return
+	}
+	// Far-fault: the waiting warps block until the driver maps the page.
+	s.driver.Fault(page, conts[0].seq, func() { s.fillAndWake(page, conts) })
+}
+
+// fillAndWake installs the translation and completes every merged access.
+func (s *Simulator) fillAndWake(page addrspace.PageID, conts []continuation) {
+	if s.pwalk == nil {
+		s.l2.Fill(page)
+	}
+	for _, c := range conts {
+		sm := s.sms[c.smID]
+		sm.l1.Fill(page)
+		s.finish(sm, page, c.seq, 1)
+	}
+}
+
+// finish completes one access after `extra` cycles (plus the data-path
+// latency when modelled) and recycles the slot after the compute gap.
+func (s *Simulator) finish(sm *smState, page addrspace.PageID, seq int, extra sim.Cycle) {
+	if sm.l1d != nil {
+		extra += s.dataLatency(sm, page, seq)
+	}
+	s.engine.After(extra+s.cfg.ComputeGap, func() {
+		s.completed++
+		s.dispatch(sm)
+		s.releaseBarrier()
+	})
+}
+
+// releaseBarrier re-dispatches parked slots once the kernel before the
+// pending barrier has fully drained.
+func (s *Simulator) releaseBarrier() {
+	if len(s.stalled) == 0 ||
+		s.barrierIdx >= len(s.tr.Barriers) ||
+		s.cursor != s.tr.Barriers[s.barrierIdx] ||
+		int(s.completed) < s.cursor {
+		return
+	}
+	parked := s.stalled
+	s.stalled = nil
+	for _, sm := range parked {
+		s.dispatch(sm)
+	}
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Simulator) Run() Result {
+	if s.cfg.Prepopulate {
+		pages := s.tr.UniquePages()
+		if len(pages) > s.cfg.MemoryPages {
+			panic(fmt.Sprintf("gpu: Prepopulate needs %d pages, memory holds %d",
+				len(pages), s.cfg.MemoryPages))
+		}
+		for _, p := range pages {
+			if _, err := s.memory.Insert(p); err != nil {
+				panic(fmt.Sprintf("gpu: prepopulate: %v", err))
+			}
+			s.pol.OnMapped(p, 0)
+		}
+	}
+	// Prime every warp slot.
+	for _, sm := range s.sms {
+		for w := 0; w < s.cfg.WarpsPerSM; w++ {
+			s.dispatch(sm)
+		}
+	}
+	s.engine.Run()
+
+	res := Result{
+		Workload:        s.tr.Name,
+		Policy:          s.pol.Name(),
+		Cycles:          s.engine.Now(),
+		Accesses:        s.completed,
+		Instructions:    s.completed * uint64(1+s.cfg.ComputeGap),
+		WalkHits:        s.walkHits,
+		Walks:           s.walks,
+		WalkMerges:      s.walkMerges,
+		BarriersCrossed: s.barriers,
+		Driver:          s.driver.Stats(),
+		TimedOut:        s.cfg.MaxCycles > 0 && s.engine.Pending() > 0,
+	}
+	res.Faults = res.Driver.FaultsServiced
+	res.Evictions = res.Driver.Evictions
+	res.Coalesced = res.Driver.Coalesced
+	if res.Cycles > 0 {
+		res.IPC = float64(res.Instructions) / float64(res.Cycles)
+	}
+	var l1h, l1m uint64
+	for _, sm := range s.sms {
+		h, m, _, _ := sm.l1.Stats()
+		l1h += h
+		l1m += m
+	}
+	res.L1Hits, res.L1Misses = l1h, l1m
+	h2, m2, _, _ := s.l2.Stats()
+	res.L2Hits, res.L2Misses = h2, m2
+	if s.hirC != nil {
+		st := s.hirC.Stats()
+		res.HIR = &st
+	}
+	if hp, ok := s.pol.(*hpe.HPE); ok {
+		st := hp.Stats()
+		res.HPE = &st
+	}
+	if s.pwalk != nil {
+		st := s.pwalk.Stats()
+		res.PTW = &st
+	}
+	if s.l2d != nil {
+		for _, sm := range s.sms {
+			h, m := sm.l1d.Stats()
+			res.DataL1Hits += h
+			res.DataL1Misses += m
+		}
+		res.DataL2Hits, res.DataL2Misses = s.l2d.Stats()
+		st := s.dramC.Stats()
+		res.DRAM = &st
+	}
+	return res
+}
+
+// Run is the one-call convenience: build and run a simulation.
+func Run(cfg Config, tr *trace.Trace, pol policy.Policy) Result {
+	return New(cfg, tr, pol).Run()
+}

@@ -1,0 +1,122 @@
+package gpu
+
+import (
+	"testing"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/policy"
+	"hpe/internal/workload"
+)
+
+func defaultGeom() addrspace.Geometry { return addrspace.DefaultGeometry() }
+
+// checkResultInvariants validates the accounting identities that hold for
+// every completed simulation regardless of policy or workload:
+//   - every trace reference completed,
+//   - L1 lookups == accesses,
+//   - every access resolved through exactly one path (L1 hit, L2 hit, walk,
+//     or walk merge),
+//   - faults ≥ footprint (compulsory misses) and evictions = faults − peak
+//     residency,
+//   - all kernel barriers were crossed.
+func checkResultInvariants(t *testing.T, res Result, traceLen, footprint, capacity, barriers int) {
+	t.Helper()
+	if res.TimedOut {
+		t.Fatal("run timed out")
+	}
+	if res.Accesses != uint64(traceLen) {
+		t.Fatalf("completed %d accesses, trace has %d", res.Accesses, traceLen)
+	}
+	if res.L1Hits+res.L1Misses != res.Accesses {
+		t.Fatalf("L1 lookups %d != accesses %d", res.L1Hits+res.L1Misses, res.Accesses)
+	}
+	if res.L1Hits+res.L2Hits+res.Walks+res.WalkMerges != res.Accesses {
+		t.Fatalf("resolution paths don't sum: l1=%d l2=%d walks=%d merges=%d accesses=%d",
+			res.L1Hits, res.L2Hits, res.Walks, res.WalkMerges, res.Accesses)
+	}
+	// A walk resolves as a hit, a new fault, or a merge onto an in-flight
+	// fault at the driver.
+	if res.WalkHits+res.Faults+res.Coalesced != res.Walks {
+		t.Fatalf("walks %d != hits %d + faults %d + coalesced %d",
+			res.Walks, res.WalkHits, res.Faults, res.Coalesced)
+	}
+	if res.Faults < uint64(footprint) {
+		t.Fatalf("faults %d below compulsory %d", res.Faults, footprint)
+	}
+	peak := footprint
+	if capacity < peak {
+		peak = capacity
+	}
+	if res.Evictions != res.Faults-uint64(peak) {
+		t.Fatalf("evictions %d != faults %d - peak %d", res.Evictions, res.Faults, peak)
+	}
+	if res.BarriersCrossed != uint64(barriers) {
+		t.Fatalf("crossed %d barriers, trace has %d", res.BarriersCrossed, barriers)
+	}
+}
+
+// TestSimulationInvariantsAcrossCatalog runs a sample of catalog apps under
+// several policies and validates the accounting identities.
+func TestSimulationInvariantsAcrossCatalog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog invariants skipped in -short mode")
+	}
+	for _, abbr := range []string{"STN", "GEM", "B+T", "NW", "SPV"} {
+		app, ok := workload.ByAbbr(abbr)
+		if !ok {
+			t.Fatalf("%s missing", abbr)
+		}
+		tr := app.Generate()
+		for _, rate := range []int{75, 50} {
+			capacity := tr.Footprint() * rate / 100
+			cfg := DefaultConfig(capacity)
+			cfg.ComputeGap = 2
+			for _, pol := range []policy.Policy{
+				policy.NewLRU(), policy.NewRandom(3),
+				policy.NewClockPro(capacity, policy.DefaultColdTarget),
+			} {
+				res := Run(cfg, tr, pol)
+				checkResultInvariants(t, res, tr.Len(), tr.Footprint(), capacity, len(tr.Barriers))
+			}
+		}
+	}
+}
+
+// TestBarrierOrderingEnforced: with barriers, no access after a barrier may
+// complete before every access before it. We verify via a policy that
+// records fault sequence numbers and checks they never cross a barrier
+// backwards by more than the in-flight window... simpler and airtight:
+// a two-kernel trace where kernel 2 faults must all carry seq >= barrier.
+func TestBarrierOrderingEnforced(t *testing.T) {
+	b := workload.NewBuilder(defaultGeom(), 0, 1)
+	workload.Thrashing(b, 8, 2, 1) // two passes with a barrier between
+	tr := b.Build("two-kernel")
+	barrier := tr.Barriers[0]
+
+	rec := &seqRecorder{Policy: policy.NewLRU()}
+	cfg := smallConfig(64) // tiny memory: both passes fault heavily
+	res := Run(cfg, tr, rec)
+	if res.BarriersCrossed == 0 {
+		t.Fatal("no barriers crossed")
+	}
+	// Fault seqs must be grouped: all pass-1 faults (seq < barrier) precede
+	// all pass-2 faults (seq >= barrier) in service order.
+	crossed := false
+	for _, seq := range rec.seqs {
+		if seq >= barrier {
+			crossed = true
+		} else if crossed {
+			t.Fatalf("pass-1 fault (seq %d) serviced after a pass-2 fault; barrier violated", seq)
+		}
+	}
+}
+
+type seqRecorder struct {
+	policy.Policy
+	seqs []int
+}
+
+func (r *seqRecorder) OnFault(p addrspace.PageID, seq int) {
+	r.seqs = append(r.seqs, seq)
+	r.Policy.OnFault(p, seq)
+}

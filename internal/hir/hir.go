@@ -1,0 +1,207 @@
+// Package hir implements the Hit Information Record cache of Section IV-B:
+// a small set-associative cache beside the GPU's page-table walker that
+// records page-walk *hits* per page set. Its contents are drained to the GPU
+// driver every nth page fault (the transfer interval) to update HPE's page
+// set chain; between drains it is the only channel through which HPE learns
+// about hits, in contrast to the baselines' "ideal model" feed.
+//
+// Each entry holds the page-set tag plus one small saturating counter per
+// page of the set (2 bits in the paper's costing: a 16-page set needs 32
+// bits of data, so an entry is 80 bits and the default 1024-entry HIR costs
+// 10 KB). A first-touch order vector preserves a relaxed reference order
+// across the drain.
+package hir
+
+import (
+	"fmt"
+
+	"hpe/internal/addrspace"
+)
+
+// Config sizes the HIR cache.
+type Config struct {
+	// Entries is the total entry count (paper default: 1024).
+	Entries int
+	// Ways is the associativity (paper default: 8).
+	Ways int
+	// CounterBits is the per-page counter width (paper default: 2).
+	CounterBits uint
+	// Geometry supplies the page-set arithmetic.
+	Geometry addrspace.Geometry
+}
+
+// DefaultConfig returns the paper's HIR configuration: 1024 entries, 8-way,
+// 2-bit counters over 16-page sets.
+func DefaultConfig() Config {
+	return Config{Entries: 1024, Ways: 8, CounterBits: 2, Geometry: addrspace.DefaultGeometry()}
+}
+
+// Record is one drained HIR entry: the page set and the per-page hit counts
+// accumulated since the previous drain, in first-touch order.
+type Record struct {
+	Set    addrspace.SetID
+	Counts []uint8 // len == Geometry.SetSize()
+}
+
+type hirEntry struct {
+	valid  bool
+	tag    addrspace.SetID
+	counts []uint8
+}
+
+// Cache is the HIR cache. Not safe for concurrent use; the simulator is
+// single-threaded per run.
+type Cache struct {
+	cfg     Config
+	rows    int
+	maxCnt  uint8
+	entries []hirEntry
+
+	// touchOrder records (row, way) pairs in first-touch order since the
+	// last drain — the paper's order vector.
+	touchOrder []int
+
+	// Stats.
+	hitsRecorded  uint64
+	conflicts     uint64 // hits dropped because the row was full
+	drains        uint64
+	drainedTotal  uint64 // sum of entries transferred across drains
+	nonEmpty      uint64 // drains that moved at least one entry
+	drainedMax    int
+	drainedCounts []int // per-drain entry counts (Fig. 15 data)
+}
+
+// New returns an empty HIR cache.
+func New(cfg Config) *Cache {
+	if cfg.Entries <= 0 || cfg.Ways <= 0 || cfg.Entries%cfg.Ways != 0 {
+		panic(fmt.Sprintf("hir: bad geometry entries=%d ways=%d", cfg.Entries, cfg.Ways))
+	}
+	if cfg.CounterBits == 0 || cfg.CounterBits > 8 {
+		panic(fmt.Sprintf("hir: counter bits %d out of range [1,8]", cfg.CounterBits))
+	}
+	return &Cache{
+		cfg:     cfg,
+		rows:    cfg.Entries / cfg.Ways,
+		maxCnt:  uint8(1<<cfg.CounterBits - 1),
+		entries: make([]hirEntry, cfg.Entries),
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// RecordHit records a page-walk hit for page p. On a way conflict (the row
+// is full of other tags) the hit is dropped and counted — the paper's
+// "some pages' information may be lost".
+func (c *Cache) RecordHit(p addrspace.PageID) {
+	set := c.cfg.Geometry.SetOf(p)
+	off := c.cfg.Geometry.Offset(p)
+	row := int(uint64(set) % uint64(c.rows))
+	base := row * c.cfg.Ways
+	free := -1
+	for w := 0; w < c.cfg.Ways; w++ {
+		e := &c.entries[base+w]
+		if e.valid && e.tag == set {
+			if e.counts[off] < c.maxCnt {
+				e.counts[off]++
+			}
+			c.hitsRecorded++
+			return
+		}
+		if !e.valid && free < 0 {
+			free = base + w
+		}
+	}
+	if free < 0 {
+		c.conflicts++
+		return
+	}
+	e := &c.entries[free]
+	if e.counts == nil {
+		e.counts = make([]uint8, c.cfg.Geometry.SetSize())
+	}
+	e.valid = true
+	e.tag = set
+	e.counts[off] = 1
+	c.touchOrder = append(c.touchOrder, free)
+	c.hitsRecorded++
+}
+
+// Touched returns the number of touched (valid) entries awaiting drain.
+func (c *Cache) Touched() int { return len(c.touchOrder) }
+
+// Drain copies the touched entries — in first-touch order — into fresh
+// Records and flushes the cache, modelling the copy-to-buffer + PCIe
+// transfer + flush sequence of §IV-B. Only touched entries are transferred.
+func (c *Cache) Drain() []Record {
+	out := make([]Record, 0, len(c.touchOrder))
+	for _, idx := range c.touchOrder {
+		e := &c.entries[idx]
+		if !e.valid {
+			continue
+		}
+		counts := make([]uint8, len(e.counts))
+		copy(counts, e.counts)
+		out = append(out, Record{Set: e.tag, Counts: counts})
+		e.valid = false
+		for i := range e.counts {
+			e.counts[i] = 0
+		}
+	}
+	c.touchOrder = c.touchOrder[:0]
+	c.drains++
+	c.drainedTotal += uint64(len(out))
+	if len(out) > 0 {
+		c.nonEmpty++
+	}
+	if len(out) > c.drainedMax {
+		c.drainedMax = len(out)
+	}
+	c.drainedCounts = append(c.drainedCounts, len(out))
+	return out
+}
+
+// TransferBytes returns the PCIe payload size of a drain of n entries. Each
+// entry is tag (48 bits in the paper's 64-bit costing) plus the counter
+// vector, rounded up to whole bytes.
+func (c *Cache) TransferBytes(n int) int {
+	entryBits := 48 + c.cfg.Geometry.SetSize()*int(c.cfg.CounterBits)
+	return n * ((entryBits + 7) / 8)
+}
+
+// StorageBytes returns the on-GPU storage cost of the whole cache — the
+// paper's 10 KB for the default configuration.
+func (c *Cache) StorageBytes() int { return c.TransferBytes(c.cfg.Entries) }
+
+// Stats reports cumulative behaviour.
+type Stats struct {
+	HitsRecorded uint64
+	Conflicts    uint64
+	Drains       uint64
+	// MeanDrained is the average number of entries transferred per drain.
+	MeanDrained float64
+	// MeanNonEmpty averages over drains that actually moved entries — the
+	// paper's Fig. 15 "entries transferred each time" metric.
+	MeanNonEmpty float64
+	MaxDrained   int
+}
+
+// Stats returns the cache's cumulative statistics.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		HitsRecorded: c.hitsRecorded,
+		Conflicts:    c.conflicts,
+		Drains:       c.drains,
+		MaxDrained:   c.drainedMax,
+	}
+	if c.drains > 0 {
+		s.MeanDrained = float64(c.drainedTotal) / float64(c.drains)
+	}
+	if c.nonEmpty > 0 {
+		s.MeanNonEmpty = float64(c.drainedTotal) / float64(c.nonEmpty)
+	}
+	return s
+}
+
+// DrainSizes returns the per-drain transferred-entry counts.
+func (c *Cache) DrainSizes() []int { return c.drainedCounts }

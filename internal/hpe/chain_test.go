@@ -1,0 +1,211 @@
+package hpe
+
+import (
+	"testing"
+
+	"hpe/internal/addrspace"
+)
+
+func testChain() *setChain {
+	return newSetChain(addrspace.DefaultGeometry(), 64)
+}
+
+func keys(c *setChain) []entryKey {
+	var out []entryKey
+	for e := c.head; e != nil; e = e.next {
+		out = append(out, e.key)
+	}
+	return out
+}
+
+func TestTouchInsertsAtNewPartitionMRU(t *testing.T) {
+	c := testChain()
+	c.touch(entryKey{set: 1}, 1, 0)
+	c.touch(entryKey{set: 2}, 1, 0)
+	got := keys(c)
+	if len(got) != 2 || got[0].set != 1 || got[1].set != 2 {
+		t.Fatalf("chain order = %v", got)
+	}
+	for e := c.head; e != nil; e = e.next {
+		if c.partitionOf(e) != PartitionNew {
+			t.Fatalf("%v in %v, want new", e.key, c.partitionOf(e))
+		}
+	}
+}
+
+func TestPartitionsAfterRollovers(t *testing.T) {
+	c := testChain()
+	c.touch(entryKey{set: 1}, 1, 0) // interval 0
+	c.rollover()
+	c.touch(entryKey{set: 2}, 1, 0) // interval 1
+	c.rollover()
+	c.touch(entryKey{set: 3}, 1, 0) // interval 2
+	e1, e2, e3 := c.get(entryKey{set: 1}), c.get(entryKey{set: 2}), c.get(entryKey{set: 3})
+	if c.partitionOf(e1) != PartitionOld {
+		t.Errorf("set 1 in %v, want old", c.partitionOf(e1))
+	}
+	if c.partitionOf(e2) != PartitionMiddle {
+		t.Errorf("set 2 in %v, want middle", c.partitionOf(e2))
+	}
+	if c.partitionOf(e3) != PartitionNew {
+		t.Errorf("set 3 in %v, want new", c.partitionOf(e3))
+	}
+	old, mid, neu := c.partitionLens()
+	if old != 1 || mid != 1 || neu != 1 {
+		t.Fatalf("partition lens = %d/%d/%d", old, mid, neu)
+	}
+}
+
+func TestTouchMovesOldEntryToNewMRU(t *testing.T) {
+	c := testChain()
+	c.touch(entryKey{set: 1}, 1, 0)
+	c.touch(entryKey{set: 2}, 1, 0)
+	c.rollover()
+	c.rollover()
+	// Both are old now. Touch set 1: it must move to the tail (new MRU).
+	c.touch(entryKey{set: 1}, 1, 1)
+	got := keys(c)
+	if got[0].set != 2 || got[1].set != 1 {
+		t.Fatalf("chain order after move = %v", got)
+	}
+	if c.partitionOf(c.get(entryKey{set: 1})) != PartitionNew {
+		t.Fatal("moved entry not in new partition")
+	}
+}
+
+func TestNoMovementWithinInterval(t *testing.T) {
+	c := testChain()
+	c.touch(entryKey{set: 1}, 1, 0)
+	c.touch(entryKey{set: 2}, 1, 0)
+	// Set 1 is already in the new partition: touching it again must not
+	// reorder the chain (the paper's movement-pinning rule).
+	c.touch(entryKey{set: 1}, 1, 1)
+	got := keys(c)
+	if got[0].set != 1 || got[1].set != 2 {
+		t.Fatalf("pinned entry moved: %v", got)
+	}
+}
+
+func TestCounterSaturatesAtCap(t *testing.T) {
+	c := testChain()
+	e := c.touch(entryKey{set: 1}, 100, 0)
+	if e.counter != 64 {
+		t.Fatalf("counter = %d, want cap 64", e.counter)
+	}
+	c.touch(entryKey{set: 1}, 5, 1)
+	if e.counter != 64 {
+		t.Fatalf("counter after more touches = %d, want 64", e.counter)
+	}
+}
+
+func TestBitVectorOnlyOnFaults(t *testing.T) {
+	c := testChain()
+	e := c.touch(entryKey{set: 1}, 1, 3) // fault at offset 3
+	c.touch(entryKey{set: 1}, 1, -1)     // hit-style update
+	if e.bitVector != 1<<3 {
+		t.Fatalf("bitVector = %b, want only bit 3", e.bitVector)
+	}
+}
+
+func TestUpdateExistingDropsUnknownSets(t *testing.T) {
+	c := testChain()
+	if got := c.updateExisting(entryKey{set: 9}, 2); got != nil {
+		t.Fatal("updateExisting created an entry")
+	}
+	c.touch(entryKey{set: 9}, 1, 0)
+	if got := c.updateExisting(entryKey{set: 9}, 2); got == nil || got.counter != 3 {
+		t.Fatalf("updateExisting on existing entry = %+v", got)
+	}
+}
+
+func TestOldMRUFindsBoundary(t *testing.T) {
+	c := testChain()
+	for i := 1; i <= 3; i++ {
+		c.touch(entryKey{set: addrspace.SetID(i)}, 1, 0)
+	}
+	c.rollover()
+	c.touch(entryKey{set: 4}, 1, 0)
+	c.rollover()
+	c.touch(entryKey{set: 5}, 1, 0)
+	// Old partition: sets 1,2,3 (MRU of old = 3). Middle: 4. New: 5.
+	if got := c.oldMRU(); got == nil || got.key.set != 3 {
+		t.Fatalf("oldMRU = %v, want set 3", got)
+	}
+}
+
+func TestOldMRUEmptyOldPartition(t *testing.T) {
+	c := testChain()
+	c.touch(entryKey{set: 1}, 1, 0)
+	if c.oldMRU() != nil {
+		t.Fatal("oldMRU found an entry with no old partition")
+	}
+	c.rollover()
+	if c.oldMRU() != nil {
+		t.Fatal("middle-partition entry reported as old")
+	}
+}
+
+func TestRemoveMaintainsLinks(t *testing.T) {
+	c := testChain()
+	for i := 1; i <= 3; i++ {
+		c.touch(entryKey{set: addrspace.SetID(i)}, 1, 0)
+	}
+	c.remove(c.get(entryKey{set: 2}))
+	got := keys(c)
+	if len(got) != 2 || got[0].set != 1 || got[1].set != 3 {
+		t.Fatalf("after middle removal: %v", got)
+	}
+	c.remove(c.get(entryKey{set: 1}))
+	c.remove(c.get(entryKey{set: 3}))
+	if c.head != nil || c.tail != nil || c.Len() != 0 {
+		t.Fatal("chain not empty after removing everything")
+	}
+}
+
+func TestStampOrderingInvariant(t *testing.T) {
+	// After arbitrary touches and rollovers the chain must stay sorted by
+	// movedInterval — the property the partition derivation relies on.
+	c := testChain()
+	for step := 0; step < 500; step++ {
+		set := addrspace.SetID(step * 7 % 23)
+		c.touch(entryKey{set: set}, 1, step%16)
+		if step%13 == 0 {
+			c.rollover()
+		}
+		prev := uint64(0)
+		for e := c.head; e != nil; e = e.next {
+			if e.movedInterval < prev {
+				t.Fatalf("step %d: chain not stamp-sorted", step)
+			}
+			prev = e.movedInterval
+		}
+	}
+}
+
+func TestEntryHelpers(t *testing.T) {
+	e := &chainEntry{}
+	if e.evictable() || e.lowestResident() != -1 {
+		t.Fatal("empty entry reported evictable")
+	}
+	e.residentMask = 0b1010
+	if !e.evictable() || e.lowestResident() != 1 {
+		t.Fatalf("lowestResident = %d, want 1", e.lowestResident())
+	}
+	e.bitVector = 0xFFFF
+	if !e.populated(16) {
+		t.Fatal("full bit vector not populated")
+	}
+	e.bitVector = 0x5555
+	if e.populated(16) {
+		t.Fatal("half bit vector reported populated")
+	}
+}
+
+func TestSecondaryKeysAreDistinct(t *testing.T) {
+	c := testChain()
+	c.touch(entryKey{set: 1}, 1, 0)
+	c.touch(entryKey{set: 1, secondary: true}, 1, 1)
+	if c.Len() != 2 {
+		t.Fatalf("chain len = %d, want 2 (primary + secondary)", c.Len())
+	}
+}

@@ -1,0 +1,78 @@
+package hpe
+
+import "math"
+
+// RatioStats carries the classification statistics of §IV-D, computed over
+// the page-set chain when the GPU memory first fills.
+type RatioStats struct {
+	// Regular / Irregular / SmallRegular / LargeRegular count page sets by
+	// counter type (definitions 1–4 of §IV-D).
+	Regular      int
+	Irregular    int
+	SmallRegular int
+	LargeRegular int
+	// Ratio1 = irregular / regular; Ratio2 = large-and-regular /
+	// small-and-regular. A zero denominator with a non-zero numerator yields
+	// +Inf; 0/0 yields 0.
+	Ratio1 float64
+	Ratio2 float64
+}
+
+func ratio(num, den int) float64 {
+	if den == 0 {
+		if num == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return float64(num) / float64(den)
+}
+
+// computeRatios traverses the chain and buckets every entry's counter:
+// regular counters are divisible by the page-set size; small-and-regular
+// equal 1× or 2× the set size; large-and-regular equal 3× or 4×.
+func computeRatios(c *setChain) RatioStats {
+	setSize := c.geometry.SetSize()
+	var s RatioStats
+	for e := c.head; e != nil; e = e.next {
+		cnt := e.counter
+		if cnt%setSize == 0 && cnt > 0 {
+			s.Regular++
+			switch cnt {
+			case setSize, 2 * setSize:
+				s.SmallRegular++
+			case 3 * setSize, 4 * setSize:
+				s.LargeRegular++
+			}
+		} else {
+			s.Irregular++
+		}
+	}
+	s.Ratio1 = ratio(s.Irregular, s.Regular)
+	s.Ratio2 = ratio(s.LargeRegular, s.SmallRegular)
+	return s
+}
+
+// Classify applies Table III to the ratio statistics:
+//
+//	regular      ratio₁ ≤ threshold, ratio₂ < 2
+//	irregular#1  ratio₁ ≤ threshold, ratio₂ ≥ 2
+//	irregular#2  ratio₁ > threshold
+func Classify(s RatioStats, ratio1Threshold, ratio2Threshold float64) Category {
+	if s.Ratio1 > ratio1Threshold {
+		return CategoryIrregular2
+	}
+	if s.Ratio2 >= ratio2Threshold {
+		return CategoryIrregular1
+	}
+	return CategoryRegular
+}
+
+// initialStrategy returns the eviction strategy each category starts with
+// (§IV-D): MRU-C for regular applications, LRU for both irregular classes.
+func initialStrategy(c Category) Strategy {
+	if c == CategoryRegular {
+		return StrategyMRUC
+	}
+	return StrategyLRU
+}

@@ -1,0 +1,119 @@
+package hpe
+
+// Stats is a snapshot of HPE's internal bookkeeping, feeding the paper's
+// overhead and adjustment analyses (Figs. 9, 13, 14 and §V-C).
+type Stats struct {
+	// Classified reports whether the one-time classification has run (it
+	// runs when the GPU memory first fills; tiny workloads may finish
+	// without it).
+	Classified bool
+	// Category is the classification outcome.
+	Category Category
+	// Ratios carries ratio₁/ratio₂ and the underlying counter census
+	// (Fig. 9 data).
+	Ratios RatioStats
+	// ActiveStrategy is the strategy in force at snapshot time.
+	ActiveStrategy Strategy
+	// Faults is the number of page faults observed.
+	Faults uint64
+	// Intervals is the number of completed intervals.
+	Intervals uint64
+
+	// Searches and Comparisons cover MRU-C victim searches only; their
+	// ratio MeanComparisons is the Fig. 14 metric.
+	Searches        uint64
+	Comparisons     uint64
+	MeanComparisons float64
+
+	// Divisions counts page sets divided (§IV-C); NW and MVT are the only
+	// catalog applications expected to divide.
+	Divisions int
+	// Switches counts strategy switches; Jumps lists the fault numbers at
+	// which the MRU-C search point jumped (Fig. 13 events).
+	Switches int
+	Jumps    []uint64
+	// SearchJump is the accumulated search-point offset.
+	SearchJump int
+	// Timeline is the per-strategy execution breakdown (Fig. 13).
+	Timeline []StrategySpan
+	// WrongEvictions is the cumulative wrong-eviction count per strategy,
+	// indexed by Strategy.
+	WrongEvictions [2]int
+	// OldSetsAtFirstFull is the old-partition census that gates the
+	// regular-application jump.
+	OldSetsAtFirstFull int
+
+	// ChainLen is the current page-set chain length; ChainOld/Middle/New
+	// split it by partition.
+	ChainLen                        int
+	ChainOld, ChainMiddle, ChainNew int
+
+	// LRUFallbacks counts MRU-C selections that fell back to LRU because the
+	// old partition was empty; MiddleOrNewEvictions counts victims taken
+	// outside the old partition.
+	LRUFallbacks         uint64
+	MiddleOrNewEvictions uint64
+
+	// HitBatches and HitBatchDrops count OnHitBatch calls and records
+	// dropped because their set had left the chain.
+	HitBatches    uint64
+	HitBatchDrops uint64
+}
+
+// StrategyShare returns the fraction of strategy-managed time (faults after
+// the one-time classification) spent under the given strategy — the Fig. 13
+// horizontal bars. Shares over the active strategies sum to 1.
+func (s Stats) StrategyShare(strat Strategy) float64 {
+	var covered, total uint64
+	for _, span := range s.Timeline {
+		if span.ToFault <= span.FromFault {
+			continue
+		}
+		length := span.ToFault - span.FromFault
+		total += length
+		if span.Strategy == strat {
+			covered += length
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(covered) / float64(total)
+}
+
+// Stats captures a snapshot.
+func (h *HPE) Stats() Stats {
+	old, middle, neu := h.chain.partitionLens()
+	s := Stats{
+		Classified:           h.classified,
+		Category:             h.adj.category,
+		Ratios:               h.ratios,
+		ActiveStrategy:       h.adj.active,
+		Faults:               h.faultCount,
+		Intervals:            h.chain.curInterval,
+		Searches:             h.searches,
+		Comparisons:          h.comparisons,
+		Divisions:            h.divisionCount,
+		Switches:             h.adj.switches,
+		Jumps:                append([]uint64(nil), h.adj.jumps...),
+		SearchJump:           h.adj.searchJump,
+		Timeline:             h.adj.timeline(h.faultCount),
+		WrongEvictions:       h.adj.wrongTotal,
+		OldSetsAtFirstFull:   h.adj.oldSetsAtFirstFull,
+		ChainLen:             h.chain.Len(),
+		ChainOld:             old,
+		ChainMiddle:          middle,
+		ChainNew:             neu,
+		LRUFallbacks:         h.lruFallbacks,
+		MiddleOrNewEvictions: h.middleOrNewEv,
+		HitBatches:           h.hitBatchCount,
+		HitBatchDrops:        h.hitBatchDrops,
+	}
+	if !h.classified {
+		s.Category = CategoryUnknown
+	}
+	if h.searches > 0 {
+		s.MeanComparisons = float64(h.comparisons) / float64(h.searches)
+	}
+	return s
+}

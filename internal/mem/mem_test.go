@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"hpe/internal/addrspace"
+)
+
+func TestInsertEvictLifecycle(t *testing.T) {
+	m := NewDeviceMemory(2)
+	if m.Capacity() != 2 || m.Len() != 0 || m.Full() {
+		t.Fatalf("fresh memory state wrong: cap=%d len=%d full=%v", m.Capacity(), m.Len(), m.Full())
+	}
+	f1, err := m.Insert(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.Insert(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1 == f2 {
+		t.Fatal("two pages share a frame")
+	}
+	if !m.Full() || m.Len() != 2 {
+		t.Fatalf("after two inserts: full=%v len=%d", m.Full(), m.Len())
+	}
+	if _, err := m.Insert(30); !errors.Is(err, ErrFull) {
+		t.Fatalf("Insert into full memory: err = %v, want ErrFull", err)
+	}
+	if err := m.Evict(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resident(10) || !m.Resident(20) {
+		t.Fatal("residency wrong after evict")
+	}
+	f3, err := m.Insert(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f3 != f1 {
+		t.Fatalf("freed frame not reused: got %d, want %d", f3, f1)
+	}
+}
+
+func TestEvictNotResident(t *testing.T) {
+	m := NewDeviceMemory(1)
+	if err := m.Evict(99); !errors.Is(err, ErrNotResident) {
+		t.Fatalf("err = %v, want ErrNotResident", err)
+	}
+}
+
+func TestDoubleMapPanics(t *testing.T) {
+	m := NewDeviceMemory(4)
+	m.Insert(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("double map did not panic")
+		}
+	}()
+	m.Insert(1)
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDeviceMemory(0) did not panic")
+		}
+	}()
+	NewDeviceMemory(0)
+}
+
+func TestFrameLookup(t *testing.T) {
+	m := NewDeviceMemory(4)
+	f, _ := m.Insert(42)
+	got, ok := m.Frame(42)
+	if !ok || got != f {
+		t.Fatalf("Frame(42) = %d,%v, want %d,true", got, ok, f)
+	}
+	if _, ok := m.Frame(43); ok {
+		t.Fatal("Frame(43) found a mapping")
+	}
+}
+
+func TestStatsAndPeak(t *testing.T) {
+	m := NewDeviceMemory(3)
+	m.Insert(1)
+	m.Insert(2)
+	m.Evict(1)
+	m.Insert(3)
+	ins, ev, peak := m.Stats()
+	if ins != 3 || ev != 1 || peak != 2 {
+		t.Fatalf("stats = %d,%d,%d, want 3,1,2", ins, ev, peak)
+	}
+}
+
+func TestResidentPagesOfSet(t *testing.T) {
+	g := addrspace.DefaultGeometry()
+	m := NewDeviceMemory(64)
+	s := addrspace.SetID(5)
+	// Map offsets 0, 3, 15.
+	for _, off := range []int{0, 3, 15} {
+		if _, err := m.Insert(g.PageAt(s, off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Insert(g.PageAt(6, 0)) // other set, must not appear
+	got := m.ResidentPages(g, s)
+	if len(got) != 3 {
+		t.Fatalf("ResidentPages = %v", got)
+	}
+	// Address order.
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("ResidentPages not sorted: %v", got)
+		}
+	}
+}
+
+// Property: after any sequence of inserts and evicts, Len + free == Capacity
+// and no two resident pages share a frame.
+func TestFrameConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		m := NewDeviceMemory(8)
+		resident := map[addrspace.PageID]bool{}
+		for _, op := range ops {
+			p := addrspace.PageID(op % 16)
+			if resident[p] {
+				if err := m.Evict(p); err != nil {
+					return false
+				}
+				delete(resident, p)
+			} else {
+				_, err := m.Insert(p)
+				if errors.Is(err, ErrFull) {
+					if m.Len() != 8 {
+						return false
+					}
+					continue
+				}
+				if err != nil {
+					return false
+				}
+				resident[p] = true
+			}
+		}
+		if m.Len() != len(resident) {
+			return false
+		}
+		frames := map[FrameID]bool{}
+		for p := range resident {
+			fr, ok := m.Frame(p)
+			if !ok || frames[fr] {
+				return false
+			}
+			frames[fr] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

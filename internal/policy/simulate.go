@@ -1,0 +1,68 @@
+package policy
+
+import (
+	"fmt"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/trace"
+)
+
+// ReplayResult summarises a timing-free replay of a reference string
+// against a policy: the demand-paging behaviour without the GPU's TLBs,
+// warps, or latencies. Eviction-count comparisons (the paper's Figs. 3, 11,
+// 12b) depend only on this level of the model; the full simulator in
+// internal/gpu adds timing and TLB filtering on top.
+type ReplayResult struct {
+	Policy    string
+	Refs      int
+	Faults    uint64
+	Evictions uint64
+	Hits      uint64
+}
+
+// FaultRate returns faults per reference.
+func (r ReplayResult) FaultRate() float64 {
+	if r.Refs == 0 {
+		return 0
+	}
+	return float64(r.Faults) / float64(r.Refs)
+}
+
+// String renders the result as a one-line report.
+func (r ReplayResult) String() string {
+	return fmt.Sprintf("%-10s refs=%-8d faults=%-7d evictions=%-7d hits=%d",
+		r.Policy, r.Refs, r.Faults, r.Evictions, r.Hits)
+}
+
+// Replay runs every reference of tr through the policy against a memory of
+// capacityPages, evicting on demand. Every reference is visible to the
+// policy (the paper's "ideal model" feed). The sequence number passed to the
+// policy is the trace position.
+func Replay(tr *trace.Trace, p Policy, capacityPages int) ReplayResult {
+	if capacityPages <= 0 {
+		panic(fmt.Sprintf("policy: Replay capacity %d must be positive", capacityPages))
+	}
+	resident := make(map[addrspace.PageID]struct{}, capacityPages)
+	res := ReplayResult{Policy: p.Name(), Refs: tr.Len()}
+	for seq, page := range tr.Refs {
+		if _, ok := resident[page]; ok {
+			res.Hits++
+			p.OnWalkHit(page, seq)
+			continue
+		}
+		res.Faults++
+		p.OnFault(page, seq)
+		if len(resident) >= capacityPages {
+			victim := p.SelectVictim()
+			if _, ok := resident[victim]; !ok {
+				panic(fmt.Sprintf("policy: %s selected non-resident victim %v", p.Name(), victim))
+			}
+			delete(resident, victim)
+			p.OnEvicted(victim)
+			res.Evictions++
+		}
+		resident[page] = struct{}{}
+		p.OnMapped(page, seq)
+	}
+	return res
+}

@@ -1,0 +1,197 @@
+// Package ptw models a hardware page-table walker over a radix page table,
+// with a shared page-walk cache (PWC) over the upper levels — the *first* of
+// the two address-translation designs the paper describes in §II (citing
+// Power et al., HPCA'14). The paper adopts the second design (a shared L2
+// TLB) "due to better performance"; this package exists so that claim can be
+// reproduced as an experiment rather than taken on faith (see
+// internal/experiments' "translation" study).
+//
+// Geometry follows x86-64 4-KB paging: a 48-bit virtual address walks four
+// radix levels of 9 bits each. A walk starts below whatever prefix the PWC
+// already holds; each remaining level costs one memory access.
+package ptw
+
+import (
+	"fmt"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/sim"
+)
+
+// Levels is the number of radix levels (PML4 → PDP → PD → PT).
+const Levels = 4
+
+// bitsPerLevel is the radix width of each level for 4-KB pages.
+const bitsPerLevel = 9
+
+// Config sizes the walker.
+type Config struct {
+	// PWCEntries and PWCWays size the page-walk cache (entries across all
+	// cached levels; Power et al. use a small shared structure).
+	PWCEntries, PWCWays int
+	// MemAccessLatency is the cost in cycles of reading one page-table
+	// entry from the memory hierarchy (the paper's baseline charges a fixed
+	// 8-cycle walk; a real radix walk pays per level on PWC misses).
+	MemAccessLatency sim.Cycle
+}
+
+// DefaultConfig returns a Power-et-al-flavoured walker: a 64-entry, 8-way
+// PWC and a 20-cycle per-level memory access.
+func DefaultConfig() Config {
+	return Config{PWCEntries: 64, PWCWays: 8, MemAccessLatency: 20}
+}
+
+// pwcKey identifies a page-table subtree: the level and the virtual-address
+// prefix that indexes it.
+type pwcKey struct {
+	level  int // 1..Levels-1 (the leaf PTE itself is what the TLBs cache)
+	prefix uint64
+}
+
+type pwcEntry struct {
+	valid bool
+	key   pwcKey
+	used  uint64
+}
+
+// Walker is the page-table walker with its PWC. The actual translation
+// outcome (hit or fault) is decided by residency, exactly as in the
+// baseline design; the walker contributes latency.
+type Walker struct {
+	cfg  Config
+	rows int
+	pwc  []pwcEntry
+	tick uint64
+
+	walks       uint64
+	levelsRead  uint64
+	pwcHits     uint64
+	pwcLookups  uint64
+	fullyCached uint64
+}
+
+// New returns a walker with an empty PWC.
+func New(cfg Config) *Walker {
+	if cfg.PWCEntries <= 0 || cfg.PWCWays <= 0 || cfg.PWCEntries%cfg.PWCWays != 0 {
+		panic(fmt.Sprintf("ptw: bad PWC geometry %d/%d", cfg.PWCEntries, cfg.PWCWays))
+	}
+	if cfg.MemAccessLatency == 0 {
+		panic("ptw: zero memory access latency")
+	}
+	return &Walker{
+		cfg:  cfg,
+		rows: cfg.PWCEntries / cfg.PWCWays,
+		pwc:  make([]pwcEntry, cfg.PWCEntries),
+	}
+}
+
+// prefixFor returns the VA prefix that indexes the page-table subtree at the
+// given level for page p. Level Levels-1 is the topmost cached level (the
+// PML4 entry covers the widest region).
+func prefixFor(p addrspace.PageID, level int) uint64 {
+	return uint64(p) >> uint(bitsPerLevel*level)
+}
+
+func (w *Walker) row(k pwcKey) []pwcEntry {
+	h := k.prefix*uint64(Levels) + uint64(k.level)
+	idx := int(h % uint64(w.rows))
+	return w.pwc[idx*w.cfg.PWCWays : (idx+1)*w.cfg.PWCWays]
+}
+
+func (w *Walker) lookup(k pwcKey) bool {
+	w.tick++
+	w.pwcLookups++
+	row := w.row(k)
+	for i := range row {
+		if row[i].valid && row[i].key == k {
+			row[i].used = w.tick
+			w.pwcHits++
+			return true
+		}
+	}
+	return false
+}
+
+func (w *Walker) fill(k pwcKey) {
+	w.tick++
+	row := w.row(k)
+	victim := 0
+	for i := range row {
+		if row[i].valid && row[i].key == k {
+			row[i].used = w.tick
+			return
+		}
+		if !row[i].valid {
+			victim = i
+			break
+		}
+		if row[i].used < row[victim].used {
+			victim = i
+		}
+	}
+	row[victim] = pwcEntry{valid: true, key: k, used: w.tick}
+}
+
+// WalkLatency performs one radix walk for page p and returns its latency:
+// the PWC is probed top-down for the deepest cached subtree, then every
+// remaining level costs one memory access. The traversed upper-level entries
+// are installed in the PWC.
+func (w *Walker) WalkLatency(p addrspace.PageID) sim.Cycle {
+	w.walks++
+	// Find the deepest cached level: level 1 covers the smallest region
+	// (512 pages), level 3 the largest. A hit at level l means levels above
+	// l are implicitly covered.
+	start := Levels // walk from the root
+	for level := 1; level < Levels; level++ {
+		if w.lookup(pwcKey{level: level, prefix: prefixFor(p, level)}) {
+			start = level
+			break
+		}
+	}
+	if start == 1 {
+		w.fullyCached++
+	}
+	// Read the remaining levels: start..1, plus the leaf PTE.
+	reads := uint64(start)
+	w.levelsRead += reads
+	// Install the newly traversed subtree entries.
+	for level := start - 1; level >= 1; level-- {
+		w.fill(pwcKey{level: level, prefix: prefixFor(p, level)})
+	}
+	return sim.Cycle(reads) * w.cfg.MemAccessLatency
+}
+
+// Invalidate removes the leaf-covering PWC entry for an unmapped page's
+// subtree. Upper levels stay valid (the page table structure persists); only
+// the level-1 entry (the PT page covering this PTE) could go stale in a real
+// system when the PT page itself is freed — we keep it, as drivers do for
+// persistently allocated page tables, so this is a no-op retained for
+// interface symmetry.
+func (w *Walker) Invalidate(p addrspace.PageID) {}
+
+// Stats reports walker behaviour.
+type Stats struct {
+	Walks       uint64
+	LevelsRead  uint64
+	PWCLookups  uint64
+	PWCHits     uint64
+	FullyCached uint64
+	// MeanLevels is the average page-table reads per walk (4 = cold radix
+	// walk, 1 = perfectly cached).
+	MeanLevels float64
+}
+
+// Stats returns cumulative counters.
+func (w *Walker) Stats() Stats {
+	s := Stats{
+		Walks:       w.walks,
+		LevelsRead:  w.levelsRead,
+		PWCLookups:  w.pwcLookups,
+		PWCHits:     w.pwcHits,
+		FullyCached: w.fullyCached,
+	}
+	if w.walks > 0 {
+		s.MeanLevels = float64(w.levelsRead) / float64(w.walks)
+	}
+	return s
+}

@@ -1,0 +1,96 @@
+package ptw
+
+import (
+	"testing"
+
+	"hpe/internal/addrspace"
+)
+
+func TestColdWalkReadsAllLevels(t *testing.T) {
+	w := New(DefaultConfig())
+	lat := w.WalkLatency(0x12345)
+	if lat != 4*20 {
+		t.Fatalf("cold walk latency = %d, want 80 (4 levels × 20)", lat)
+	}
+	st := w.Stats()
+	if st.Walks != 1 || st.LevelsRead != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRepeatWalkFullyCached(t *testing.T) {
+	w := New(DefaultConfig())
+	w.WalkLatency(0x100)
+	lat := w.WalkLatency(0x101) // same level-1 subtree (same 512-page region)
+	if lat != 20 {
+		t.Fatalf("warm walk latency = %d, want 20 (leaf read only)", lat)
+	}
+	if st := w.Stats(); st.FullyCached != 1 {
+		t.Fatalf("fullyCached = %d, want 1", st.FullyCached)
+	}
+}
+
+func TestPartialPrefixReuse(t *testing.T) {
+	w := New(DefaultConfig())
+	w.WalkLatency(0x100)
+	// Different level-1 region, same level-2 region (same 2^18-page prefix):
+	// must re-read levels 2? No — level 2 is cached, so read level 1 + leaf.
+	lat := w.WalkLatency(0x100 + 512)
+	if lat != 2*20 {
+		t.Fatalf("sibling-region walk latency = %d, want 40", lat)
+	}
+	// A page in a completely different top-level region: cold again.
+	lat = w.WalkLatency(addrspace.PageID(1) << 27)
+	if lat != 4*20 {
+		t.Fatalf("far walk latency = %d, want 80", lat)
+	}
+}
+
+func TestPWCCapacityEviction(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PWCEntries, cfg.PWCWays = 8, 8 // one row, easy to overflow
+	w := New(cfg)
+	// Touch many distinct level-1 regions to churn the row.
+	for i := 0; i < 32; i++ {
+		w.WalkLatency(addrspace.PageID(i) << bitsPerLevel)
+	}
+	// The earliest region's level-1 entry must have been evicted: its walk
+	// costs more than a leaf read.
+	if lat := w.WalkLatency(0); lat <= 20 {
+		t.Fatalf("evicted region walk latency = %d, want > 20", lat)
+	}
+}
+
+func TestMeanLevelsDecreasesWithLocality(t *testing.T) {
+	w := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		w.WalkLatency(addrspace.PageID(i % 512)) // all one subtree
+	}
+	if st := w.Stats(); st.MeanLevels > 1.1 {
+		t.Fatalf("mean levels = %.2f for a local stream, want ~1", st.MeanLevels)
+	}
+	cold := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		cold.WalkLatency(addrspace.PageID(i) << 27) // all distinct roots
+	}
+	if st := cold.Stats(); st.MeanLevels < 3.9 {
+		t.Fatalf("mean levels = %.2f for a hostile stream, want ~4", st.MeanLevels)
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{PWCEntries: 0, PWCWays: 1, MemAccessLatency: 1},
+		{PWCEntries: 7, PWCWays: 2, MemAccessLatency: 1},
+		{PWCEntries: 8, PWCWays: 2, MemAccessLatency: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v accepted", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}

@@ -1,0 +1,134 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine: a virtual clock measured in GPU core cycles and an event queue
+// ordered by (time, sequence). All higher-level components (SMs, the fault
+// handler, HIR transfers) schedule work through an Engine.
+//
+// Determinism: events scheduled for the same cycle fire in scheduling order
+// (stable FIFO tie-break), so a simulation with the same inputs always
+// produces the same result regardless of map iteration order or host timing.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, in GPU core clock cycles.
+type Cycle uint64
+
+// CyclesPerMicrosecond converts wall-clock microseconds into cycles at the
+// given core frequency in MHz (e.g. 1400 MHz for the paper's GTX-480-like
+// configuration: 20 µs becomes 28,000 cycles).
+func CyclesPerMicrosecond(us float64, coreMHz float64) Cycle {
+	return Cycle(us * coreMHz)
+}
+
+// Event is a unit of scheduled work.
+type Event struct {
+	at   Cycle
+	seq  uint64
+	fire func()
+}
+
+// eventHeap implements container/heap ordered by (at, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Cycle
+	nextSeq uint64
+	queue   eventHeap
+	fired   uint64
+	limit   Cycle // 0 means no limit
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired returns the total number of events processed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetLimit installs a hard ceiling on simulated time; Run stops (without
+// firing) events scheduled after the limit. A limit of 0 removes the ceiling.
+func (e *Engine) SetLimit(limit Cycle) { e.limit = limit }
+
+// At schedules fn to run at the given absolute cycle. Scheduling in the past
+// (before Now) is an error and panics: it would silently reorder causality.
+func (e *Engine) At(at Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.nextSeq, fire: fn}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycle, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Step fires the next event, advancing the clock to its timestamp. It
+// returns false when no events remain or the next event lies past the limit.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := e.queue[0]
+	if e.limit != 0 && next.at > e.limit {
+		return false
+	}
+	heap.Pop(&e.queue)
+	e.now = next.at
+	e.fired++
+	next.fire()
+	return true
+}
+
+// Run fires events until the queue drains or the limit is reached, returning
+// the final simulated cycle.
+func (e *Engine) Run() Cycle {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with timestamps <= until, advancing the clock to
+// exactly until when the queue drains earlier.
+func (e *Engine) RunUntil(until Cycle) {
+	for len(e.queue) > 0 && e.queue[0].at <= until {
+		if !e.Step() {
+			break
+		}
+	}
+	if e.now < until {
+		e.now = until
+	}
+}

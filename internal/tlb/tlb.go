@@ -1,0 +1,148 @@
+// Package tlb implements the set-associative translation lookaside buffers
+// of the paper's baseline architecture (Fig. 1 / Table I): per-SM private L1
+// TLBs backed by a shared L2 TLB, both LRU-replaced, with invalidation on
+// page eviction.
+//
+// The TLB stores only page-number tags; the simulator does not need the
+// physical translation itself, just hit/miss behaviour, because policy
+// visibility (which references reach the page walker) is what the paper's
+// mechanisms key off.
+package tlb
+
+import (
+	"fmt"
+
+	"hpe/internal/addrspace"
+)
+
+// TLB is a set-associative, LRU-replaced translation cache.
+type TLB struct {
+	name    string
+	sets    int
+	ways    int
+	entries []entry // sets × ways, row-major
+	tick    uint64
+
+	hits      uint64
+	misses    uint64
+	fills     uint64
+	invalides uint64
+}
+
+type entry struct {
+	valid bool
+	page  addrspace.PageID
+	used  uint64 // LRU timestamp
+}
+
+// New returns a TLB with the given total entry count and associativity.
+// entries must be divisible by ways; ways == entries gives a fully
+// associative TLB.
+func New(name string, entries, ways int) *TLB {
+	if entries <= 0 || ways <= 0 || entries%ways != 0 {
+		panic(fmt.Sprintf("tlb: bad geometry entries=%d ways=%d", entries, ways))
+	}
+	return &TLB{
+		name:    name,
+		sets:    entries / ways,
+		ways:    ways,
+		entries: make([]entry, entries),
+	}
+}
+
+// Name returns the TLB's label (for stats reporting).
+func (t *TLB) Name() string { return t.name }
+
+// Entries returns the total capacity.
+func (t *TLB) Entries() int { return len(t.entries) }
+
+// Ways returns the associativity.
+func (t *TLB) Ways() int { return t.ways }
+
+func (t *TLB) row(p addrspace.PageID) []entry {
+	idx := int(uint64(p) % uint64(t.sets))
+	return t.entries[idx*t.ways : (idx+1)*t.ways]
+}
+
+// Lookup probes the TLB. A hit refreshes the entry's LRU state.
+func (t *TLB) Lookup(p addrspace.PageID) bool {
+	t.tick++
+	row := t.row(p)
+	for i := range row {
+		if row[i].valid && row[i].page == p {
+			row[i].used = t.tick
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Fill installs a translation, evicting the LRU way of the set if needed.
+// Filling an already-present page just refreshes it.
+func (t *TLB) Fill(p addrspace.PageID) {
+	t.tick++
+	row := t.row(p)
+	victim := 0
+	for i := range row {
+		if row[i].valid && row[i].page == p {
+			row[i].used = t.tick
+			return
+		}
+		if !row[i].valid {
+			victim = i
+			break
+		}
+		if row[i].used < row[victim].used {
+			victim = i
+		}
+	}
+	row[victim] = entry{valid: true, page: p, used: t.tick}
+	t.fills++
+}
+
+// Invalidate removes a translation if present (page eviction shootdown).
+func (t *TLB) Invalidate(p addrspace.PageID) bool {
+	row := t.row(p)
+	for i := range row {
+		if row[i].valid && row[i].page == p {
+			row[i].valid = false
+			t.invalides++
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every entry.
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+// Stats returns cumulative hit/miss/fill/invalidate counts.
+func (t *TLB) Stats() (hits, misses, fills, invalidates uint64) {
+	return t.hits, t.misses, t.fills, t.invalides
+}
+
+// HitRate returns hits / (hits+misses), or 0 for an unused TLB.
+func (t *TLB) HitRate() float64 {
+	total := t.hits + t.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(t.hits) / float64(total)
+}
+
+// Occupancy returns the number of valid entries.
+func (t *TLB) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}

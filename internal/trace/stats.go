@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"hpe/internal/addrspace"
+)
+
+// Profile summarises a trace: size, footprint, and the distribution of
+// per-page and per-page-set reference counts. The experiment harness uses it
+// for Table II-style reporting and for validating that generated workloads
+// exhibit the statistics the paper attributes to each application.
+type Profile struct {
+	Name           string
+	Refs           int
+	Footprint      int // unique pages
+	FootprintBytes uint64
+	SetFootprint   int // unique page sets (default geometry)
+
+	// MinPageRefs/MaxPageRefs/MeanPageRefs describe the per-page count
+	// distribution.
+	MinPageRefs  int
+	MaxPageRefs  int
+	MeanPageRefs float64
+
+	// SetCounterHistogram maps per-set total reference counts (capped the way
+	// HPE's saturating counter caps, at 4× the set size) to the number of sets
+	// with that count. Used to sanity-check ratio₁/ratio₂ targets.
+	SetCounterHistogram map[int]int
+}
+
+// Profiler computes a Profile using the given page-set geometry.
+func Profiler(t *Trace, g addrspace.Geometry) Profile {
+	counts := t.Counts()
+	p := Profile{
+		Name:                t.Name,
+		Refs:                t.Len(),
+		Footprint:           len(counts),
+		FootprintBytes:      uint64(len(counts)) * addrspace.PageBytes,
+		SetCounterHistogram: make(map[int]int),
+	}
+	if len(counts) == 0 {
+		return p
+	}
+	setCounts := make(map[addrspace.SetID]int)
+	min, max, total := int(^uint(0)>>1), 0, 0
+	for page, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		total += c
+		setCounts[g.SetOf(page)] += c
+	}
+	p.MinPageRefs, p.MaxPageRefs = min, max
+	p.MeanPageRefs = float64(total) / float64(len(counts))
+	p.SetFootprint = len(setCounts)
+	cap64 := 4 * g.SetSize()
+	for _, c := range setCounts {
+		if c > cap64 {
+			c = cap64
+		}
+		p.SetCounterHistogram[c]++
+	}
+	return p
+}
+
+// String renders the profile as a single report line.
+func (p Profile) String() string {
+	return fmt.Sprintf("%-6s refs=%-8d footprint=%5d pages (%.1f MB) sets=%4d refs/page min=%d mean=%.1f max=%d",
+		p.Name, p.Refs, p.Footprint, float64(p.FootprintBytes)/(1<<20),
+		p.SetFootprint, p.MinPageRefs, p.MeanPageRefs, p.MaxPageRefs)
+}
+
+// CounterClasses buckets the profile's set counters the way HPE's classifier
+// does (Section IV-D): regular vs irregular, and small vs large among the
+// regular ones. setSize is the page-set size in pages.
+func (p Profile) CounterClasses(setSize int) (regular, irregular, smallRegular, largeRegular int) {
+	for c, n := range p.SetCounterHistogram {
+		if c%setSize == 0 {
+			regular += n
+			if c == setSize || c == 2*setSize {
+				smallRegular += n
+			}
+			if c == 3*setSize || c == 4*setSize {
+				largeRegular += n
+			}
+		} else {
+			irregular += n
+		}
+	}
+	return
+}
+
+// ReuseDistances returns the distribution of LRU stack distances (unique
+// pages touched between successive references to the same page). Pages'
+// first references are excluded. The result is sorted ascending. This is an
+// analysis aid for classifying generated patterns; it is O(n log n) using a
+// last-seen index plus a balanced count of distinct pages via a Fenwick tree.
+func ReuseDistances(t *Trace) []int {
+	lastSeen := make(map[addrspace.PageID]int, t.Footprint())
+	// Fenwick tree over positions marking "latest occurrence" flags.
+	fw := newFenwick(t.Len() + 1)
+	var out []int
+	for i, p := range t.Refs {
+		if j, ok := lastSeen[p]; ok {
+			// Distinct pages referenced in (j, i) = count of latest-occurrence
+			// flags in that window.
+			d := fw.sum(i) - fw.sum(j+1)
+			out = append(out, d)
+			fw.add(j+1, -1)
+		}
+		fw.add(i+1, 1)
+		lastSeen[p] = i
+	}
+	sort.Ints(out)
+	return out
+}
+
+type fenwick struct{ tree []int }
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, v int) {
+	for i++; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+// sum returns the prefix sum over [0, i).
+func (f *fenwick) sum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}

@@ -1,0 +1,293 @@
+// Package trace represents page-granularity memory reference strings.
+//
+// A Trace is the canonical, global ordering of page touches produced by a
+// workload generator (the post-coalescer access stream of the paper's CUDA
+// applications, reduced to virtual page numbers). The GPU simulator carves a
+// Trace into per-warp chunks; the Ideal (Belady MIN) policy uses the
+// canonical order as its oracle of the future.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"hpe/internal/addrspace"
+)
+
+// Trace is an ordered page reference string with a name for reporting.
+type Trace struct {
+	// Name identifies the workload that produced the trace.
+	Name string
+	// Refs is the canonical global reference order.
+	Refs []addrspace.PageID
+	// Barriers holds kernel-boundary positions, ascending: references at or
+	// after Barriers[i] may not issue until every reference before it has
+	// completed. They model the implicit synchronisation between kernel
+	// launches, which bounds how far a GPU can run ahead of its page-fault
+	// frontier.
+	Barriers []int
+
+	uniq     int  // cached unique-page count; 0 means not computed
+	uniqDone bool // distinguishes "not computed" from "trace is empty"
+}
+
+// New returns a trace over the given reference string. The slice is retained,
+// not copied.
+func New(name string, refs []addrspace.PageID) *Trace {
+	return &Trace{Name: name, Refs: refs}
+}
+
+// NewWithBarriers returns a trace with kernel boundaries. Barriers must be
+// ascending and within [0, len(refs)]; duplicates and boundary values are
+// dropped.
+func NewWithBarriers(name string, refs []addrspace.PageID, barriers []int) *Trace {
+	clean := make([]int, 0, len(barriers))
+	prev := -1
+	for _, b := range barriers {
+		if b < prev {
+			panic(fmt.Sprintf("trace: barriers not ascending at %d", b))
+		}
+		if b > 0 && b < len(refs) && b != prev {
+			clean = append(clean, b)
+		}
+		prev = b
+	}
+	return &Trace{Name: name, Refs: refs, Barriers: clean}
+}
+
+// Len returns the number of references.
+func (t *Trace) Len() int { return len(t.Refs) }
+
+// Footprint returns the number of unique pages referenced. The result is
+// cached; mutating Refs after the first call invalidates it silently, so
+// treat traces as immutable once built.
+func (t *Trace) Footprint() int {
+	if t.uniqDone {
+		return t.uniq
+	}
+	seen := make(map[addrspace.PageID]struct{}, len(t.Refs)/4+1)
+	for _, p := range t.Refs {
+		seen[p] = struct{}{}
+	}
+	t.uniq = len(seen)
+	t.uniqDone = true
+	return t.uniq
+}
+
+// FootprintBytes returns the footprint in bytes (unique pages × page size).
+func (t *Trace) FootprintBytes() uint64 {
+	return uint64(t.Footprint()) * addrspace.PageBytes
+}
+
+// UniquePages returns the sorted set of unique pages referenced.
+func (t *Trace) UniquePages() []addrspace.PageID {
+	seen := make(map[addrspace.PageID]struct{}, len(t.Refs)/4+1)
+	for _, p := range t.Refs {
+		seen[p] = struct{}{}
+	}
+	out := make([]addrspace.PageID, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Chunks splits the trace into n contiguous chunks of near-equal length,
+// preserving order within each chunk. It mirrors how a grid of thread blocks
+// partitions its input: warp w processes the w-th contiguous slice. Chunks
+// may be empty when n exceeds the trace length.
+func (t *Trace) Chunks(n int) [][]addrspace.PageID {
+	if n <= 0 {
+		panic(fmt.Sprintf("trace: Chunks(%d): n must be positive", n))
+	}
+	out := make([][]addrspace.PageID, n)
+	total := len(t.Refs)
+	base := total / n
+	rem := total % n
+	start := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out[i] = t.Refs[start : start+size]
+		start += size
+	}
+	return out
+}
+
+// Counts returns the reference count of each page.
+func (t *Trace) Counts() map[addrspace.PageID]int {
+	m := make(map[addrspace.PageID]int, len(t.Refs)/4+1)
+	for _, p := range t.Refs {
+		m[p]++
+	}
+	return m
+}
+
+// FutureIndex precomputes, for each page, the sorted list of positions at
+// which it is referenced in the canonical order. The Ideal policy queries it
+// to find each resident page's next use after a given position.
+type FutureIndex struct {
+	positions map[addrspace.PageID][]int
+	length    int
+}
+
+// BuildFutureIndex indexes the trace for Belady-MIN queries.
+func BuildFutureIndex(t *Trace) *FutureIndex {
+	pos := make(map[addrspace.PageID][]int, t.Footprint())
+	for i, p := range t.Refs {
+		pos[p] = append(pos[p], i)
+	}
+	return &FutureIndex{positions: pos, length: len(t.Refs)}
+}
+
+// Len returns the length of the indexed trace.
+func (f *FutureIndex) Len() int { return f.length }
+
+// NextUse returns the first position strictly after `after` at which page p
+// is referenced, or (0, false) if p is never referenced again. after = -1
+// asks for the first reference.
+func (f *FutureIndex) NextUse(p addrspace.PageID, after int) (int, bool) {
+	ps := f.positions[p]
+	i := sort.SearchInts(ps, after+1)
+	if i == len(ps) {
+		return 0, false
+	}
+	return ps[i], true
+}
+
+// --- binary codec -----------------------------------------------------------
+//
+// Format (little-endian varints except the magic):
+//   magic "HPET" | version byte | name length uvarint | name bytes |
+//   ref count uvarint | refs as delta-zigzag uvarints
+// Delta encoding exploits the spatial locality of GPU traces: most deltas are
+// tiny, so a multi-million-reference trace compresses to ~1–2 bytes/ref.
+
+var traceMagic = [4]byte{'H', 'P', 'E', 'T'}
+
+const traceVersion = 2
+
+// ErrBadTrace is returned when decoding input that is not a valid trace.
+var ErrBadTrace = errors.New("trace: malformed trace stream")
+
+// Write encodes the trace to w in the binary trace format.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t.Name)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(buf[:], uint64(len(t.Refs)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, p := range t.Refs {
+		delta := int64(uint64(p)) - int64(prev)
+		n = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = uint64(p)
+	}
+	n = binary.PutUvarint(buf[:], uint64(len(t.Barriers)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prevB := 0
+	for _, b := range t.Barriers {
+		n = binary.PutUvarint(buf[:], uint64(b-prevB))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prevB = b
+	}
+	return bw.Flush()
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if ver != traceVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if nameLen > 1<<20 {
+		return nil, fmt.Errorf("%w: name length %d too large", ErrBadTrace, nameLen)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("%w: ref count %d too large", ErrBadTrace, count)
+	}
+	// Grow by append with a bounded initial capacity: a forged count must
+	// not pre-allocate gigabytes before the stream runs dry.
+	refs := make([]addrspace.PageID, 0, min(count, 1<<20))
+	prev := int64(0)
+	for i := uint64(0); i < count; i++ {
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: ref %d: %v", ErrBadTrace, i, err)
+		}
+		prev += delta
+		if prev < 0 {
+			return nil, fmt.Errorf("%w: negative page at ref %d", ErrBadTrace, i)
+		}
+		refs = append(refs, addrspace.PageID(prev))
+	}
+	nBarriers, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: barrier count: %v", ErrBadTrace, err)
+	}
+	if nBarriers > uint64(len(refs))+1 {
+		return nil, fmt.Errorf("%w: %d barriers for %d refs", ErrBadTrace, nBarriers, len(refs))
+	}
+	barriers := make([]int, 0, min(nBarriers, 1<<16))
+	acc := 0
+	for i := uint64(0); i < nBarriers; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: barrier %d: %v", ErrBadTrace, i, err)
+		}
+		acc += int(d)
+		barriers = append(barriers, acc)
+	}
+	return NewWithBarriers(string(nameBytes), refs, barriers), nil
+}

@@ -1,0 +1,336 @@
+// Package uvm models the unified-memory software runtime of Section II: the
+// GPU driver on the host CPU that services far-faults. Faults queue at the
+// driver and are serviced with the paper's fixed 20 µs latency, which covers
+// the page-table lookup, any eviction, and the PCIe page migration.
+// Duplicate faults on an in-flight page coalesce. When HPE is active, the
+// driver also drains the HIR cache every nth serviced fault and charges the
+// PCIe transfer latency of the drained records to simulated time, exactly as
+// the paper's evaluation does.
+//
+// The paper's runtime services faults one at a time (Channels = 1, the
+// default). The Channels knob generalises this to a pipelined driver for the
+// extension study in internal/experiments: how much of the oversubscription
+// wall is queueing delay rather than eviction quality.
+package uvm
+
+import (
+	"fmt"
+	"math"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/hir"
+	"hpe/internal/mem"
+	"hpe/internal/policy"
+	"hpe/internal/sim"
+)
+
+// HitBatchReceiver is implemented by policies (HPE) that consume HIR drains.
+type HitBatchReceiver interface {
+	OnHitBatch([]hir.Record)
+}
+
+// Config parameterises the driver.
+type Config struct {
+	// FaultLatency is the per-fault service time (paper: 20 µs = 28,000
+	// cycles at 1.4 GHz).
+	FaultLatency sim.Cycle
+	// Channels is the number of faults the driver services concurrently.
+	// The paper's runtime is serial (1, the default); higher values model a
+	// pipelined driver for the extension study.
+	Channels int
+	// TransferInterval drains the HIR every n serviced faults (paper: 16).
+	// Ignored when HIR is nil.
+	TransferInterval int
+	// PCIeBytesPerCycle converts HIR payload bytes into transfer cycles
+	// (16 GB/s at 1.4 GHz ≈ 11.43 bytes/cycle).
+	PCIeBytesPerCycle float64
+	// HostBusyFraction is the share of the fault-service latency during
+	// which the host CPU core is actually busy (page-table lookup, unmap/
+	// map, policy update); the remainder is PCIe round trips and GPU-side
+	// work. Feeds the §V-C core-load estimate.
+	HostBusyFraction float64
+	// PrefetchPages makes each serviced fault also migrate up to this many
+	// additional non-resident pages from the same 16-page aligned block
+	// (NVIDIA's UVM migrates whole 64-KB basic blocks this way). 0 disables
+	// prefetching — the paper's configuration. Prefetched pages are mapped
+	// (and may trigger evictions) but are not counted as faults.
+	PrefetchPages int
+}
+
+// DefaultConfig returns the paper's driver parameters at 1.4 GHz.
+func DefaultConfig() Config {
+	return Config{
+		FaultLatency:      sim.CyclesPerMicrosecond(20, 1400),
+		Channels:          1,
+		TransferInterval:  16,
+		PCIeBytesPerCycle: 16e9 / 1.4e9,
+		HostBusyFraction:  0.35,
+	}
+}
+
+// Stats summarises driver activity.
+type Stats struct {
+	// FaultsServiced counts far-faults completed (after coalescing).
+	FaultsServiced uint64
+	// Coalesced counts fault requests merged onto an in-flight fault.
+	Coalesced uint64
+	// Evictions counts pages paged out to host memory.
+	Evictions uint64
+	// HIRTransferCycles is the total simulated time spent moving HIR
+	// payloads over PCIe.
+	HIRTransferCycles sim.Cycle
+	// HIRTransferBytes is the total HIR payload moved.
+	HIRTransferBytes uint64
+	// MaxQueueDepth is the deepest the wait queue got (excluding faults in
+	// service).
+	MaxQueueDepth int
+	// BusyCycles approximates host-side fault-handling occupancy (the
+	// host-busy share of service time plus HIR transfer time; the paper's
+	// core-load metric builds on this).
+	BusyCycles sim.Cycle
+	// Prefetched counts pages migrated speculatively alongside faults.
+	Prefetched uint64
+	// Batched counts queued faults satisfied early by a block migration.
+	Batched uint64
+}
+
+type pendingFault struct {
+	page      addrspace.PageID
+	seq       int
+	wakeups   []func()
+	inService bool // dispatched to a channel
+	done      bool // resolved early by a block prefetch
+}
+
+// Driver is the host-side UVM runtime.
+type Driver struct {
+	cfg    Config
+	engine *sim.Engine
+	memory *mem.DeviceMemory
+	pol    policy.Policy
+	hirC   *hir.Cache // nil when the active policy does not use HIR
+	sink   HitBatchReceiver
+
+	// invalidate is called for every evicted page so the GPU can shoot down
+	// stale TLB entries.
+	invalidate func(addrspace.PageID)
+
+	queue    []*pendingFault                    // waiting, FIFO
+	inFlight map[addrspace.PageID]*pendingFault // waiting + in service
+	busy     int                                // channels in use
+
+	stats Stats
+}
+
+// New wires a driver. invalidate may be nil (no TLB shootdown — used by
+// unit tests). If the policy implements HitBatchReceiver and hirCache is
+// non-nil, drains are delivered to it.
+func New(cfg Config, engine *sim.Engine, memory *mem.DeviceMemory, pol policy.Policy,
+	hirCache *hir.Cache, invalidate func(addrspace.PageID)) *Driver {
+	if cfg.FaultLatency == 0 {
+		panic("uvm: zero fault latency")
+	}
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	d := &Driver{
+		cfg:        cfg,
+		engine:     engine,
+		memory:     memory,
+		pol:        pol,
+		hirC:       hirCache,
+		invalidate: invalidate,
+		inFlight:   make(map[addrspace.PageID]*pendingFault),
+	}
+	if sink, ok := pol.(HitBatchReceiver); ok {
+		d.sink = sink
+	}
+	return d
+}
+
+// Stats returns a copy of the driver's counters.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// Pending returns the number of queued (not yet in service) faults.
+func (d *Driver) Pending() int { return len(d.queue) }
+
+// RecordWalkHit forwards a page-walk hit to the policy (the baselines' ideal
+// feed and HPE's IdealHitFeed mode) and to the HIR cache when present.
+func (d *Driver) RecordWalkHit(p addrspace.PageID, seq int) {
+	d.pol.OnWalkHit(p, seq)
+	if d.hirC != nil {
+		d.hirC.RecordHit(p)
+	}
+}
+
+// Fault reports a far-fault on page p observed at trace position seq; wake
+// runs when the page becomes resident. Duplicate faults coalesce onto the
+// in-flight or queued fault for the same page.
+func (d *Driver) Fault(p addrspace.PageID, seq int, wake func()) {
+	if d.memory.Resident(p) {
+		// Raced with a completion: the page is already here.
+		wake()
+		return
+	}
+	if f, ok := d.inFlight[p]; ok {
+		f.wakeups = append(f.wakeups, wake)
+		d.stats.Coalesced++
+		return
+	}
+	f := &pendingFault{page: p, seq: seq, wakeups: []func(){wake}}
+	d.queue = append(d.queue, f)
+	d.inFlight[p] = f
+	if len(d.queue) > d.stats.MaxQueueDepth {
+		d.stats.MaxQueueDepth = len(d.queue)
+	}
+	d.pump()
+}
+
+// pump dispatches queued faults onto free channels.
+func (d *Driver) pump() {
+	frac := d.cfg.HostBusyFraction
+	if frac <= 0 || frac > 1 {
+		frac = 1
+	}
+	for d.busy < d.cfg.Channels && len(d.queue) > 0 {
+		f := d.queue[0]
+		d.queue = d.queue[1:]
+		if f.done {
+			continue // resolved early by a block prefetch
+		}
+		f.inService = true
+		d.busy++
+		d.stats.BusyCycles += sim.Cycle(float64(d.cfg.FaultLatency) * frac)
+		d.engine.After(d.cfg.FaultLatency, func() { d.complete(f) })
+	}
+}
+
+// prefetch migrates up to PrefetchPages additional non-resident pages from
+// the faulted page's 16-page aligned block, evicting as needed. Prefetched
+// pages are reported to the policy via OnMapped only.
+func (d *Driver) prefetch(page addrspace.PageID, seq int) {
+	if d.cfg.PrefetchPages <= 0 {
+		return
+	}
+	const block = 16
+	base := page &^ (block - 1)
+	brought := 0
+	for off := addrspace.PageID(0); off < block && brought < d.cfg.PrefetchPages; off++ {
+		p := base + off
+		if p == page || d.memory.Resident(p) {
+			continue
+		}
+		if f, pending := d.inFlight[p]; pending {
+			if f.inService {
+				// Its service channel owns it; resolving here would race.
+				continue
+			}
+			// A queued fault for the same block: the migration satisfies it
+			// now (fault batching, as real UVM runtimes do).
+			if d.evictIfFull() {
+				continue
+			}
+			if _, err := d.memory.Insert(p); err != nil {
+				panic(fmt.Sprintf("uvm: prefetch insert failed: %v", err))
+			}
+			d.pol.OnFault(p, f.seq)
+			d.pol.OnMapped(p, f.seq)
+			d.stats.FaultsServiced++
+			d.stats.Batched++
+			f.done = true
+			delete(d.inFlight, p)
+			for _, wake := range f.wakeups {
+				wake()
+			}
+			brought++
+			continue
+		}
+		if d.evictIfFull() {
+			continue
+		}
+		if _, err := d.memory.Insert(p); err != nil {
+			panic(fmt.Sprintf("uvm: prefetch insert failed: %v", err))
+		}
+		d.pol.OnMapped(p, seq)
+		d.stats.Prefetched++
+		brought++
+	}
+}
+
+// evictIfFull frees one frame via the policy when memory is full. It
+// returns true when eviction was needed but impossible.
+func (d *Driver) evictIfFull() bool {
+	if !d.memory.Full() {
+		return false
+	}
+	victim := d.pol.SelectVictim()
+	if err := d.memory.Evict(victim); err != nil {
+		return true
+	}
+	d.pol.OnEvicted(victim)
+	if d.invalidate != nil {
+		d.invalidate(victim)
+	}
+	d.stats.Evictions++
+	return false
+}
+
+// complete finishes one fault: evict if full, map the page, notify the
+// policy, wake the waiting warps, handle the periodic HIR drain, then free
+// the channel.
+func (d *Driver) complete(f *pendingFault) {
+	d.pol.OnFault(f.page, f.seq)
+	if d.memory.Full() {
+		victim := d.pol.SelectVictim()
+		if err := d.memory.Evict(victim); err != nil {
+			panic(fmt.Sprintf("uvm: policy %s chose bad victim %v: %v", d.pol.Name(), victim, err))
+		}
+		d.pol.OnEvicted(victim)
+		if d.invalidate != nil {
+			d.invalidate(victim)
+		}
+		d.stats.Evictions++
+	}
+	if _, err := d.memory.Insert(f.page); err != nil {
+		panic(fmt.Sprintf("uvm: insert after eviction failed: %v", err))
+	}
+	d.pol.OnMapped(f.page, f.seq)
+	d.stats.FaultsServiced++
+	delete(d.inFlight, f.page)
+
+	d.prefetch(f.page, f.seq)
+
+	for _, wake := range f.wakeups {
+		wake()
+	}
+
+	// Periodic HIR drain: every TransferInterval-th serviced fault the HIR
+	// contents cross PCIe; the transfer occupies this channel before it can
+	// take the next fault.
+	var transfer sim.Cycle
+	if d.hirC != nil && d.cfg.TransferInterval > 0 &&
+		d.stats.FaultsServiced%uint64(d.cfg.TransferInterval) == 0 {
+		recs := d.hirC.Drain()
+		if len(recs) > 0 {
+			bytes := d.hirC.TransferBytes(len(recs))
+			d.stats.HIRTransferBytes += uint64(bytes)
+			transfer = sim.Cycle(math.Ceil(float64(bytes) / d.cfg.PCIeBytesPerCycle))
+			d.stats.HIRTransferCycles += transfer
+			d.stats.BusyCycles += transfer
+			if d.sink != nil {
+				sink := d.sink
+				d.engine.After(transfer, func() { sink.OnHitBatch(recs) })
+			}
+		}
+	}
+
+	if transfer > 0 {
+		d.engine.After(transfer, func() {
+			d.busy--
+			d.pump()
+		})
+		return
+	}
+	d.busy--
+	d.pump()
+}

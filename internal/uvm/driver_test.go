@@ -1,0 +1,334 @@
+package uvm
+
+import (
+	"testing"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/hir"
+	"hpe/internal/mem"
+	"hpe/internal/policy"
+	"hpe/internal/sim"
+)
+
+// recordingPolicy wraps LRU and logs the callback sequence.
+type recordingPolicy struct {
+	*policy.LRU
+	calls []string
+}
+
+func (r *recordingPolicy) OnFault(p addrspace.PageID, seq int) {
+	r.calls = append(r.calls, "fault")
+	r.LRU.OnFault(p, seq)
+}
+func (r *recordingPolicy) OnMapped(p addrspace.PageID, seq int) {
+	r.calls = append(r.calls, "mapped")
+	r.LRU.OnMapped(p, seq)
+}
+func (r *recordingPolicy) OnEvicted(p addrspace.PageID) {
+	r.calls = append(r.calls, "evicted")
+	r.LRU.OnEvicted(p)
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FaultLatency = 100
+	return cfg
+}
+
+func TestFaultServiceLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(4)
+	d := New(testConfig(), eng, m, policy.NewLRU(), nil, nil)
+	woken := sim.Cycle(0)
+	d.Fault(1, 0, func() { woken = eng.Now() })
+	eng.Run()
+	if woken != 100 {
+		t.Fatalf("fault completed at %d, want 100", woken)
+	}
+	if !m.Resident(1) {
+		t.Fatal("page not mapped after fault")
+	}
+	if d.Stats().FaultsServiced != 1 {
+		t.Fatalf("stats = %+v", d.Stats())
+	}
+}
+
+func TestFaultsServiceSerially(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(4)
+	d := New(testConfig(), eng, m, policy.NewLRU(), nil, nil)
+	var times []sim.Cycle
+	for i := 1; i <= 3; i++ {
+		p := addrspace.PageID(i)
+		d.Fault(p, i, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	want := []sim.Cycle{100, 200, 300}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("completion times %v, want %v (single-server queue)", times, want)
+		}
+	}
+}
+
+func TestDuplicateFaultsCoalesce(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(4)
+	d := New(testConfig(), eng, m, policy.NewLRU(), nil, nil)
+	woken := 0
+	for i := 0; i < 5; i++ {
+		d.Fault(7, i, func() { woken++ })
+	}
+	eng.Run()
+	st := d.Stats()
+	if st.FaultsServiced != 1 || st.Coalesced != 4 {
+		t.Fatalf("serviced=%d coalesced=%d, want 1/4", st.FaultsServiced, st.Coalesced)
+	}
+	if woken != 5 {
+		t.Fatalf("woken = %d, want all 5 waiters", woken)
+	}
+}
+
+func TestFaultOnResidentPageWakesImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(4)
+	d := New(testConfig(), eng, m, policy.NewLRU(), nil, nil)
+	d.Fault(1, 0, func() {})
+	eng.Run()
+	woken := false
+	d.Fault(1, 1, func() { woken = true })
+	if !woken {
+		t.Fatal("resident-page fault did not wake synchronously")
+	}
+	if d.Stats().FaultsServiced != 1 {
+		t.Fatal("resident-page fault was queued")
+	}
+}
+
+func TestEvictionOnFullMemory(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(2)
+	rec := &recordingPolicy{LRU: policy.NewLRU()}
+	invalidated := []addrspace.PageID{}
+	d := New(testConfig(), eng, m, rec, nil, func(p addrspace.PageID) {
+		invalidated = append(invalidated, p)
+	})
+	for i := 1; i <= 3; i++ {
+		d.Fault(addrspace.PageID(i), i, func() {})
+	}
+	eng.Run()
+	st := d.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if len(invalidated) != 1 || invalidated[0] != 1 {
+		t.Fatalf("invalidated = %v, want [1] (LRU victim)", invalidated)
+	}
+	if m.Resident(1) || !m.Resident(2) || !m.Resident(3) {
+		t.Fatal("wrong residency after eviction")
+	}
+	// Callback ordering for the third fault: fault, evicted, mapped.
+	tail := rec.calls[len(rec.calls)-3:]
+	if tail[0] != "fault" || tail[1] != "evicted" || tail[2] != "mapped" {
+		t.Fatalf("callback order = %v", tail)
+	}
+}
+
+func TestWalkHitForwarding(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(4)
+	h := hir.New(hir.DefaultConfig())
+	lru := policy.NewLRU()
+	d := New(testConfig(), eng, m, lru, h, nil)
+	d.Fault(1, 0, func() {})
+	eng.Run()
+	d.RecordWalkHit(1, 5)
+	if h.Touched() != 1 {
+		t.Fatal("walk hit not recorded in HIR")
+	}
+	// LRU also saw the hit (ideal feed): page 1 was refreshed. Map another
+	// page and check the victim is still 1 only if the hit did not refresh —
+	// it did refresh, so after adding page 2, victim should still be 1
+	// (chain: 1 hit-refreshed then 2 mapped → LRU order 1,2). Refresh makes
+	// 1 MRU before 2 arrives; order stays 1 then 2, victim 1 either way, so
+	// probe differently: map 2, hit 1, victim must be 2.
+	d.Fault(2, 1, func() {})
+	eng.Run()
+	d.RecordWalkHit(1, 6)
+	if v := lru.SelectVictim(); v != 2 {
+		t.Fatalf("victim = %v, want 2 (page 1 refreshed by walk hit)", v)
+	}
+}
+
+func TestHIRDrainEveryNthFault(t *testing.T) {
+	cfg := testConfig()
+	cfg.TransferInterval = 2
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(64)
+	h := hir.New(hir.DefaultConfig())
+	d := New(cfg, eng, m, policy.NewLRU(), h, nil)
+	d.Fault(1, 0, func() {})
+	eng.Run()
+	d.RecordWalkHit(1, 1)
+	if h.Touched() != 1 {
+		t.Fatal("hit not pending")
+	}
+	d.Fault(2, 2, func() {}) // 2nd serviced fault → drain
+	eng.Run()
+	if h.Touched() != 0 {
+		t.Fatal("HIR not drained on 2nd fault")
+	}
+	st := d.Stats()
+	if st.HIRTransferBytes == 0 || st.HIRTransferCycles == 0 {
+		t.Fatalf("transfer not charged: %+v", st)
+	}
+}
+
+func TestQueueDepthTracking(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(16)
+	d := New(testConfig(), eng, m, policy.NewLRU(), nil, nil)
+	for i := 0; i < 10; i++ {
+		d.Fault(addrspace.PageID(i), i, func() {})
+	}
+	// The first fault went straight into service; nine wait.
+	if d.Pending() != 9 {
+		t.Fatalf("pending = %d, want 9", d.Pending())
+	}
+	eng.Run()
+	if d.Stats().MaxQueueDepth != 9 {
+		t.Fatalf("max depth = %d, want 9", d.Stats().MaxQueueDepth)
+	}
+	if d.Pending() != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+func TestChannelsOverlapFaultService(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 4
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(16)
+	d := New(cfg, eng, m, policy.NewLRU(), nil, nil)
+	var times []sim.Cycle
+	for i := 0; i < 8; i++ {
+		d.Fault(addrspace.PageID(i), i, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	// Two waves of four: completions at 100 (×4) and 200 (×4).
+	want := []sim.Cycle{100, 100, 100, 100, 200, 200, 200, 200}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("completion times %v, want %v", times, want)
+		}
+	}
+	if d.Stats().FaultsServiced != 8 {
+		t.Fatalf("serviced = %d", d.Stats().FaultsServiced)
+	}
+}
+
+func TestZeroChannelsDefaultsToOne(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 0
+	eng := sim.NewEngine()
+	d := New(cfg, eng, mem.NewDeviceMemory(4), policy.NewLRU(), nil, nil)
+	var times []sim.Cycle
+	for i := 0; i < 2; i++ {
+		d.Fault(addrspace.PageID(i), i, func() { times = append(times, eng.Now()) })
+	}
+	eng.Run()
+	if times[0] != 100 || times[1] != 200 {
+		t.Fatalf("completion times %v, want serial [100 200]", times)
+	}
+}
+
+func TestBusyCyclesAccumulate(t *testing.T) {
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(16)
+	d := New(testConfig(), eng, m, policy.NewLRU(), nil, nil)
+	for i := 0; i < 4; i++ {
+		d.Fault(addrspace.PageID(i), i, func() {})
+	}
+	eng.Run()
+	// 4 faults × 100 cycles × the default 0.35 host-busy fraction.
+	if got := d.Stats().BusyCycles; got != 140 {
+		t.Fatalf("busy cycles = %d, want 140", got)
+	}
+}
+
+func TestZeroFaultLatencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero fault latency accepted")
+		}
+	}()
+	New(Config{}, sim.NewEngine(), mem.NewDeviceMemory(1), policy.NewLRU(), nil, nil)
+}
+
+func TestPrefetchMigratesBlockNeighbours(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrefetchPages = 15
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(64)
+	d := New(cfg, eng, m, policy.NewLRU(), nil, nil)
+	d.Fault(32, 0, func() {}) // block 32..47
+	eng.Run()
+	for p := addrspace.PageID(32); p < 48; p++ {
+		if !m.Resident(p) {
+			t.Fatalf("page %v not prefetched", p)
+		}
+	}
+	st := d.Stats()
+	if st.FaultsServiced != 1 || st.Prefetched != 15 {
+		t.Fatalf("faults=%d prefetched=%d, want 1/15", st.FaultsServiced, st.Prefetched)
+	}
+	// A subsequent touch of a prefetched page is not a fault.
+	woken := false
+	d.Fault(33, 1, func() { woken = true })
+	if !woken || d.Stats().FaultsServiced != 1 {
+		t.Fatal("prefetched page refaulted")
+	}
+}
+
+func TestPrefetchEvictsWhenFull(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrefetchPages = 15
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(8)
+	d := New(cfg, eng, m, policy.NewLRU(), nil, nil)
+	d.Fault(0, 0, func() {})
+	eng.Run()
+	if m.Len() != 8 {
+		t.Fatalf("resident = %d, want full memory", m.Len())
+	}
+	st := d.Stats()
+	// 1 fault + 7 prefetches fill memory; the remaining 8 block pages each
+	// evict one of the earlier arrivals.
+	if st.Prefetched != 15 {
+		t.Fatalf("prefetched = %d, want 15", st.Prefetched)
+	}
+	if st.Evictions != 8 {
+		t.Fatalf("evictions = %d, want 8", st.Evictions)
+	}
+}
+
+func TestPrefetchSkipsPendingFaults(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrefetchPages = 15
+	eng := sim.NewEngine()
+	m := mem.NewDeviceMemory(64)
+	d := New(cfg, eng, m, policy.NewLRU(), nil, nil)
+	woken := 0
+	d.Fault(0, 0, func() { woken++ })
+	d.Fault(1, 1, func() { woken++ }) // queued behind page 0
+	eng.Run()
+	if woken != 2 {
+		t.Fatalf("woken = %d, want both faults resolved", woken)
+	}
+	st := d.Stats()
+	// Page 1 had its own fault in flight, so page 0's prefetch skipped it:
+	// 2 serviced faults, 14 prefetched pages.
+	if st.FaultsServiced != 2 || st.Prefetched != 14 {
+		t.Fatalf("faults=%d prefetched=%d, want 2/14", st.FaultsServiced, st.Prefetched)
+	}
+}
