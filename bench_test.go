@@ -10,6 +10,7 @@
 package hpe_test
 
 import (
+	"runtime"
 	"testing"
 
 	"hpe"
@@ -18,6 +19,34 @@ import (
 
 func quickSuite() *experiments.Suite {
 	return experiments.NewSuite(experiments.Options{Quick: true, Seed: 1})
+}
+
+// --- Concurrent suite runner ---------------------------------------------------
+
+// figureIDs is the benchmark workload for the suite runner: the three
+// headline figures, which together exercise the full comparison-policy grid.
+var figureIDs = []string{"fig10", "fig11", "fig12"}
+
+// BenchmarkSuiteReportsSerial and BenchmarkSuiteReportsParallel measure the
+// wall-clock effect of sharding the run matrix across workers. The reports
+// are byte-identical (TestParallelMatchesSerial); only time differs, and
+// only when GOMAXPROCS > 1.
+func BenchmarkSuiteReportsSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{Quick: true, Seed: 1, Workers: 1})
+		if _, err := s.Reports(figureIDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteReportsParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.NewSuite(experiments.Options{Quick: true, Seed: 1, Workers: runtime.GOMAXPROCS(0)})
+		if _, err := s.Reports(figureIDs); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func reportMetric(b *testing.B, rep experiments.Report, key, unit string) {

@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	hpebench                  # run everything (several minutes)
+//	hpebench                  # run everything, one worker per core
 //	hpebench -only fig10      # one experiment (comma-separate for several)
 //	hpebench -quick           # 10-app subset
+//	hpebench -workers 1       # serial run (debugging; output is identical)
 //	hpebench -v               # per-simulation progress lines
 //	hpebench -list            # list experiment IDs
+//
+// The run matrix is sharded across -workers goroutines (default: GOMAXPROCS).
+// Every simulation is deterministic and results are aggregated in canonical
+// order, so the reports are byte-identical at any worker count.
 package main
 
 import (
@@ -28,7 +33,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-simulation progress")
 	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "workers prewarming the simulation grid")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulation workers (1 = serial)")
 	jsonOut := flag.String("json", "", "also write report metrics as JSON to this file")
 	flag.Parse()
 
@@ -39,7 +44,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: 1}
+	opts := experiments.Options{Quick: *quick, Seed: 1, Workers: *workers}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -48,20 +53,21 @@ func main() {
 	ids := experiments.IDs()
 	if *only != "" {
 		ids = strings.Split(*only, ",")
+		for i, id := range ids {
+			ids[i] = strings.TrimSpace(id)
+		}
 	}
 	start := time.Now()
-	suite.Prewarm(*parallel)
-	var reports []experiments.Report
-	for _, id := range ids {
-		rep, ok := suite.ByID(strings.TrimSpace(id))
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
-		}
-		fmt.Println(rep.String())
-		reports = append(reports, rep)
+	reports, err := suite.Reports(ids)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v (use -list)\n", err)
+		os.Exit(2)
 	}
-	fmt.Printf("completed %d experiment(s) in %v\n", len(ids), time.Since(start).Round(time.Millisecond))
+	for _, rep := range reports {
+		fmt.Println(rep.String())
+	}
+	fmt.Printf("completed %d experiment(s) in %v (%d workers)\n",
+		len(ids), time.Since(start).Round(time.Millisecond), *workers)
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, reports); err != nil {
 			fmt.Fprintf(os.Stderr, "hpebench: write json: %v\n", err)

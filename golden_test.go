@@ -1,0 +1,84 @@
+// Golden-results regression test: the headline figures of the evaluation
+// (Fig. 10/11/12 — HPE vs LRU speedups, eviction reductions, and the
+// all-policy comparison) recomputed over the full 23-app catalog and checked
+// against the committed results.json. A silent simulator regression now
+// fails `go test ./...` instead of only surfacing when EXPERIMENTS.md is
+// next regenerated. Refresh the golden file after an intentional behaviour
+// change with:
+//
+//	go run ./cmd/hpebench -json results.json
+package hpe_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+
+	"hpe/internal/experiments"
+)
+
+// goldenReport mirrors cmd/hpebench's jsonReport.
+type goldenReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// goldenTolerance absorbs floating-point formatting and math-library drift
+// across Go releases, not simulator changes: the simulator is deterministic,
+// so genuine regressions shift these aggregates by far more.
+const goldenTolerance = 1e-6
+
+func TestGoldenHeadlineResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-catalog recomputation skipped in -short mode")
+	}
+	raw, err := os.ReadFile("results.json")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var golden []goldenReport
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("parsing results.json: %v", err)
+	}
+	byID := map[string]goldenReport{}
+	for _, g := range golden {
+		byID[g.ID] = g
+	}
+
+	// Full catalog, same seed as cmd/hpebench; the parallel runner is
+	// byte-identical to serial, so it is safe to use here.
+	s := experiments.NewSuite(experiments.Options{Seed: 1, Workers: runtime.GOMAXPROCS(0)})
+	for _, id := range []string{"fig10", "fig11", "fig12"} {
+		want, ok := byID[id]
+		if !ok {
+			t.Fatalf("results.json has no %q entry", id)
+		}
+		rep, ok := s.ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not dispatchable", id)
+		}
+		for key, gv := range want.Metrics {
+			if math.Abs(gv) >= math.MaxFloat64/2 {
+				continue // ±Inf clamped by the JSON writer; not comparable
+			}
+			mv, ok := rep.Metrics[key]
+			if !ok {
+				t.Errorf("%s: metric %q in golden file but not recomputed", id, key)
+				continue
+			}
+			diff := math.Abs(mv - gv)
+			if diff > goldenTolerance*math.Max(1, math.Abs(gv)) {
+				t.Errorf("%s/%s: recomputed %v, golden %v (Δ %.3g) — simulator behaviour changed; "+
+					"if intentional, regenerate results.json", id, key, mv, gv, diff)
+			}
+		}
+		for key := range rep.Metrics {
+			if _, ok := want.Metrics[key]; !ok && !math.IsNaN(rep.Metrics[key]) {
+				t.Errorf("%s: new metric %q missing from golden file — regenerate results.json", id, key)
+			}
+		}
+	}
+}

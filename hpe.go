@@ -16,9 +16,11 @@
 //	hp := hpe.SimulateHPE(hpe.SystemConfig(capacity), tr, hpe.DefaultHPEConfig())
 //	fmt.Printf("speedup %.2fx\n", hp.IPC/lru.IPC)
 //
-// The full evaluation:
+// The full evaluation (the run matrix shards across Workers goroutines;
+// reports are byte-identical at any worker count, and Workers: 1 is the
+// serial debugging path):
 //
-//	suite := hpe.NewSuite(hpe.SuiteOptions{})
+//	suite := hpe.NewSuite(hpe.SuiteOptions{Workers: runtime.GOMAXPROCS(0)})
 //	for _, rep := range suite.All() { fmt.Println(rep) }
 //
 // Architecture (bottom-up): internal/sim (event engine), internal/addrspace
@@ -66,9 +68,12 @@ type (
 	RRIPConfig = policy.RRIPConfig
 	// ReplayResult is a timing-free reference-string replay summary.
 	ReplayResult = policy.ReplayResult
-	// Suite runs the paper's experiments with shared caching.
+	// Suite runs the paper's experiments with shared caching. It is safe
+	// for concurrent use; see the experiments package comment for the
+	// concurrency contract.
 	Suite = experiments.Suite
-	// SuiteOptions scales the experiment suite.
+	// SuiteOptions scales the experiment suite. Workers sets the number of
+	// concurrent simulation workers (0/1 = serial, identical output).
 	SuiteOptions = experiments.Options
 	// Report is one experiment's rendered output and headline metrics.
 	Report = experiments.Report

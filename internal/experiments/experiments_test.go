@@ -74,11 +74,11 @@ func TestRunCachesResults(t *testing.T) {
 	if a.Cycles != b.Cycles || a.Faults != b.Faults {
 		t.Fatal("cached result differs")
 	}
-	if len(s.results) != 1 {
-		t.Fatalf("cache has %d entries, want 1", len(s.results))
+	if n := s.CachedRuns(); n != 1 {
+		t.Fatalf("cache has %d entries, want 1", n)
 	}
 	s.Run(app, KindLRU, 50)
-	if len(s.results) != 2 {
+	if n := s.CachedRuns(); n != 2 {
 		t.Fatal("different rate did not produce a new cache entry")
 	}
 }
@@ -270,8 +270,8 @@ func TestPrewarmMatchesSerial(t *testing.T) {
 	}
 	// Every grid cell was cached by the prewarm.
 	want := len(warm.Apps()) * len(ComparisonPolicies) * len(Rates)
-	if len(warm.results) != want {
-		t.Fatalf("prewarm cached %d results, want %d", len(warm.results), want)
+	if n := warm.CachedRuns(); n != want {
+		t.Fatalf("prewarm cached %d results, want %d", n, want)
 	}
 }
 

@@ -122,72 +122,92 @@ func measureChainUpdate(sets, records int) float64 {
 	return float64(best.Nanoseconds()) / 1e3
 }
 
-// All runs every experiment in paper order.
+// paperIDs are the experiments that reproduce the paper's own tables and
+// figures, in paper order; extensionIDs are the studies beyond the paper.
+var (
+	paperIDs = []string{"table1", "table2", "fig3", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "transfer", "walklat", "overhead"}
+	extensionIDs = []string{"ext", "sweep", "division", "channels", "translation",
+		"prefetch", "datapath", "hirsize"}
+)
+
+// All runs every paper experiment in paper order (concurrently when
+// Options.Workers > 1; output is identical either way).
 func (s *Suite) All() []Report {
-	return []Report{
-		s.Table1(), s.Table2(), s.Fig3(), s.Fig7(), s.Fig8(), s.Fig9(),
-		s.Fig10(), s.Fig11(), s.Fig12(), s.Fig13(), s.Fig14(), s.Fig15(),
-		s.TransferInterval(), s.WalkLatency(), s.Overheads(),
+	reps, err := s.Reports(paperIDs)
+	if err != nil {
+		panic(err) // paperIDs are all registered; unreachable
+	}
+	return reps
+}
+
+// experiment resolves an ID to its (unexecuted) experiment function.
+func (s *Suite) experiment(id string) (func() Report, bool) {
+	switch id {
+	case "table1":
+		return s.Table1, true
+	case "table2":
+		return s.Table2, true
+	case "fig3":
+		return s.Fig3, true
+	case "fig7":
+		return s.Fig7, true
+	case "fig8":
+		return s.Fig8, true
+	case "fig9":
+		return s.Fig9, true
+	case "fig10":
+		return s.Fig10, true
+	case "fig11":
+		return s.Fig11, true
+	case "fig12":
+		return s.Fig12, true
+	case "fig13":
+		return s.Fig13, true
+	case "fig14":
+		return s.Fig14, true
+	case "fig15":
+		return s.Fig15, true
+	case "transfer":
+		return s.TransferInterval, true
+	case "walklat":
+		return s.WalkLatency, true
+	case "overhead":
+		return s.Overheads, true
+	case "ext":
+		return s.ExtendedPolicies, true
+	case "sweep":
+		return s.OversubscriptionSweep, true
+	case "division":
+		return s.DivisionStudy, true
+	case "channels":
+		return s.ChannelStudy, true
+	case "translation":
+		return s.TranslationStudy, true
+	case "prefetch":
+		return s.PrefetchStudy, true
+	case "datapath":
+		return s.DataPathStudy, true
+	case "hirsize":
+		return s.HIRSizeStudy, true
+	default:
+		return nil, false
 	}
 }
 
 // ByID returns the experiment with the given ID, or false.
 func (s *Suite) ByID(id string) (Report, bool) {
-	switch id {
-	case "table1":
-		return s.Table1(), true
-	case "table2":
-		return s.Table2(), true
-	case "fig3":
-		return s.Fig3(), true
-	case "fig7":
-		return s.Fig7(), true
-	case "fig8":
-		return s.Fig8(), true
-	case "fig9":
-		return s.Fig9(), true
-	case "fig10":
-		return s.Fig10(), true
-	case "fig11":
-		return s.Fig11(), true
-	case "fig12":
-		return s.Fig12(), true
-	case "fig13":
-		return s.Fig13(), true
-	case "fig14":
-		return s.Fig14(), true
-	case "fig15":
-		return s.Fig15(), true
-	case "transfer":
-		return s.TransferInterval(), true
-	case "walklat":
-		return s.WalkLatency(), true
-	case "overhead":
-		return s.Overheads(), true
-	case "ext":
-		return s.ExtendedPolicies(), true
-	case "sweep":
-		return s.OversubscriptionSweep(), true
-	case "division":
-		return s.DivisionStudy(), true
-	case "channels":
-		return s.ChannelStudy(), true
-	case "translation":
-		return s.TranslationStudy(), true
-	case "prefetch":
-		return s.PrefetchStudy(), true
-	case "datapath":
-		return s.DataPathStudy(), true
-	case "hirsize":
-		return s.HIRSizeStudy(), true
-	default:
+	fn, ok := s.experiment(id)
+	if !ok {
 		return Report{}, false
 	}
+	return fn(), true
 }
 
-// IDs lists all experiment identifiers in paper order.
+// IDs lists all experiment identifiers: the paper's set in paper order,
+// then the extensions.
 func IDs() []string {
-	return []string{"table1", "table2", "fig3", "fig7", "fig8", "fig9", "fig10",
-		"fig11", "fig12", "fig13", "fig14", "fig15", "transfer", "walklat", "overhead",
-		"ext", "sweep", "division", "channels", "translation", "prefetch", "datapath", "hirsize"}
+	out := make([]string, 0, len(paperIDs)+len(extensionIDs))
+	out = append(out, paperIDs...)
+	return append(out, extensionIDs...)
 }

@@ -1,0 +1,172 @@
+package experiments
+
+// Concurrent suite runner: a worker-pool scheduler that shards the
+// (app, policy, rate, variant) run matrix across Options.Workers goroutines,
+// plus the singleflight primitive that makes the Suite's memoized caches
+// goroutine-safe. Every simulation is deterministic and keyed, and report
+// aggregation walks the caches in canonical order, so parallel execution is
+// byte-identical to serial execution (TestParallelMatchesSerial is the
+// contract). Workers == 1 bypasses every goroutine and channel — the
+// debugging path.
+
+import (
+	"fmt"
+	"sync"
+
+	"hpe/internal/workload"
+)
+
+// flight is one in-progress singleflight computation. The goroutine that
+// claims a key computes the value; later arrivals block on done and read
+// val. ok distinguishes a completed computation from one that panicked.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	ok   bool
+}
+
+// dedup returns cache[key], computing it at most once across concurrent
+// callers: the first goroutine to ask runs compute with mu released, every
+// other goroutine blocks until the value is published. The returned bool
+// reports whether this caller did the computing (callers use it to emit
+// progress exactly once per cell). If compute panics, the panic propagates
+// to the computing caller and waiters retry the computation themselves.
+func dedup[K comparable, V any](mu *sync.Mutex, cache map[K]V, inflight map[K]*flight[V],
+	key K, compute func() V) (V, bool) {
+	mu.Lock()
+	for {
+		if v, ok := cache[key]; ok {
+			mu.Unlock()
+			return v, false
+		}
+		f, ok := inflight[key]
+		if !ok {
+			break
+		}
+		mu.Unlock()
+		<-f.done
+		if f.ok {
+			return f.val, false
+		}
+		mu.Lock() // the computing goroutine panicked: try to claim the key ourselves
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	inflight[key] = f
+	mu.Unlock()
+
+	defer func() {
+		mu.Lock()
+		if f.ok {
+			cache[key] = f.val
+		}
+		delete(inflight, key)
+		mu.Unlock()
+		close(f.done)
+	}()
+	f.val = compute()
+	f.ok = true
+	return f.val, true
+}
+
+// workers normalizes Options.Workers: anything below 1 means serial.
+func (s *Suite) workers() int {
+	if s.opts.Workers < 1 {
+		return 1
+	}
+	return s.opts.Workers
+}
+
+// runPool executes fn(0..n-1) across at most `workers` goroutines. With one
+// worker (or one job) it degenerates to a plain loop on the calling
+// goroutine — no channels, no goroutines.
+func runPool(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runSpec is one cell of the standard (app, policy, rate) run matrix.
+type runSpec struct {
+	app  workload.App
+	kind PolicyKind
+	rate int
+}
+
+// grid enumerates the standard matrix every figure draws from: the Fig. 12
+// comparison policies at both oversubscription rates, over the suite's
+// catalog, in canonical order.
+func (s *Suite) grid() []runSpec {
+	specs := make([]runSpec, 0, len(s.apps)*len(ComparisonPolicies)*len(Rates))
+	for _, app := range s.apps {
+		for _, kind := range ComparisonPolicies {
+			for _, rate := range Rates {
+				specs = append(specs, runSpec{app: app, kind: kind, rate: rate})
+			}
+		}
+	}
+	return specs
+}
+
+// Prewarm fills the standard run grid concurrently with the given worker
+// count, so subsequent experiment functions hit the cache. Each simulation
+// is independent and deterministic and lands in the singleflight-guarded
+// cache, so the merged results are identical to a serial run. workers ≤ 1
+// is a no-op (the experiments will compute runs on demand instead).
+func (s *Suite) Prewarm(workers int) {
+	if workers <= 1 {
+		return
+	}
+	specs := s.grid()
+	runPool(workers, len(specs), func(i int) {
+		sp := specs[i]
+		s.Run(sp.app, sp.kind, sp.rate)
+	})
+}
+
+// Reports runs the experiments with the given IDs and returns their reports
+// in the same order. Unknown IDs fail before anything runs. With
+// Options.Workers > 1 the standard run matrix is sharded across a worker
+// pool first (the bulk of the simulation work), then the experiment
+// functions themselves execute concurrently — their variant runs deduplicate
+// through the singleflight cache, so shared cells are still simulated once.
+// Aggregation order is the ids slice, and each report is assembled from
+// cached results in canonical catalog order, so output is byte-identical to
+// Workers == 1.
+func (s *Suite) Reports(ids []string) ([]Report, error) {
+	fns := make([]func() Report, len(ids))
+	for i, id := range ids {
+		fn, ok := s.experiment(id)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+		}
+		fns[i] = fn
+	}
+	if w := s.workers(); w > 1 {
+		s.Prewarm(w)
+	}
+	out := make([]Report, len(ids))
+	runPool(s.workers(), len(ids), func(i int) { out[i] = fns[i]() })
+	return out, nil
+}

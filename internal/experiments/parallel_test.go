@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"hpe/internal/gpu"
+	"hpe/internal/policy"
+	"hpe/internal/trace"
+)
+
+// --- singleflight primitive ---------------------------------------------------
+
+func TestDedupComputesOncePerKey(t *testing.T) {
+	var mu sync.Mutex
+	cache := map[string]int{}
+	inflight := map[string]*flight[int]{}
+	var computes atomic.Int32
+
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				v, _ := dedup(&mu, cache, inflight, "k", func() int {
+					computes.Add(1)
+					return 42
+				})
+				if v != 42 {
+					t.Error("dedup returned wrong value")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	if len(inflight) != 0 {
+		t.Fatalf("%d inflight entries leaked", len(inflight))
+	}
+}
+
+func TestDedupRecoversFromPanic(t *testing.T) {
+	var mu sync.Mutex
+	cache := map[string]int{}
+	inflight := map[string]*flight[int]{}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		dedup(&mu, cache, inflight, "k", func() int { panic("boom") })
+	}()
+	if len(inflight) != 0 {
+		t.Fatal("panicked flight left in the inflight table")
+	}
+	// The key is reclaimable after the failure.
+	v, computed := dedup(&mu, cache, inflight, "k", func() int { return 7 })
+	if v != 7 || !computed {
+		t.Fatalf("retry after panic = (%d, %v), want (7, true)", v, computed)
+	}
+}
+
+// --- worker pool ---------------------------------------------------------------
+
+func TestRunPoolCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 3, 8, 100} {
+		const n = 37
+		hits := make([]atomic.Int32, n)
+		runPool(workers, n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if c := hits[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
+			}
+		}
+	}
+	runPool(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// --- suite concurrency ---------------------------------------------------------
+
+// TestConcurrentSuiteRace hammers every shared cache — traces, future
+// indexes, plain runs, and variant runs — from many goroutines. Run it under
+// `go test -race`; it is cheap enough for -short mode. The atomic counter
+// proves singleflight semantics: the variant build closure runs once per key
+// no matter how many goroutines request it.
+func TestConcurrentSuiteRace(t *testing.T) {
+	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 4})
+	apps := []string{"HOT", "STN", "SGM"}
+	var builds atomic.Int32
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < len(apps); i++ {
+				app, _ := byAbbr(s.apps, apps[(w+i)%len(apps)])
+				s.Trace(app)
+				s.Run(app, KindLRU, 75)
+				s.Run(app, KindIdeal, 75) // exercises the future-index singleflight
+				s.RunVariant(app, KindLRU, 75, "walk20",
+					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+						builds.Add(1)
+						cfg := s.simConfig(app, capacity, KindLRU)
+						cfg.WalkLatency = 20
+						return cfg, policy.NewLRU()
+					})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := builds.Load(); n != int32(len(apps)) {
+		t.Errorf("variant build ran %d times, want %d (one per app)", n, len(apps))
+	}
+	// 3 apps × (LRU + Ideal + walk20 variant) = 9 cached cells.
+	if n := s.CachedRuns(); n != 3*len(apps) {
+		t.Errorf("cached %d runs, want %d", n, 3*len(apps))
+	}
+	// All goroutines must have shared one trace instance per app.
+	for _, abbr := range apps {
+		app, _ := byAbbr(s.apps, abbr)
+		if s.Trace(app) != s.Trace(app) {
+			t.Errorf("%s: Trace not memoized", abbr)
+		}
+	}
+}
+
+func TestReportsRejectsUnknownID(t *testing.T) {
+	s := NewSuite(Options{Quick: true, Seed: 1})
+	if _, err := s.Reports([]string{"table1", "nope"}); err == nil {
+		t.Fatal("Reports accepted an unknown id")
+	}
+	if s.CachedRuns() != 0 {
+		t.Fatal("Reports ran simulations before validating ids")
+	}
+}
+
+func TestReportsPreservesRequestOrder(t *testing.T) {
+	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 2})
+	ids := []string{"table2", "table1"}
+	reps, err := s.Reports(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if reps[i].ID != id {
+			t.Fatalf("reports[%d].ID = %q, want %q", i, reps[i].ID, id)
+		}
+	}
+}
+
+// deterministicIDs is every experiment except "overhead", whose report embeds
+// host wall-clock measurements (classification/chain-update microseconds)
+// that differ run to run even serially — its deterministic metrics are
+// checked separately in TestParallelMatchesSerial.
+func deterministicIDs() []string {
+	var out []string
+	for _, id := range IDs() {
+		if id != "overhead" {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// TestParallelMatchesSerial is the determinism contract of the concurrent
+// runner: the full quick-subset evaluation through Workers: 1 and Workers: 8
+// must produce byte-identical Report renderings, bit-identical metrics, and
+// deeply equal gpu.Result values for every cached run. Every future
+// parallelism PR leans on this test.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full quick-suite passes skipped in -short mode")
+	}
+	serial := NewSuite(Options{Quick: true, Seed: 1, Workers: 1})
+	par := NewSuite(Options{Quick: true, Seed: 1, Workers: 8})
+	ids := deterministicIDs()
+
+	sReps, err := serial.Reports(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pReps, err := par.Reports(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range ids {
+		sr, pr := sReps[i], pReps[i]
+		if sr.ID != pr.ID || sr.Title != pr.Title {
+			t.Fatalf("%s: report identity differs", ids[i])
+		}
+		if sr.Text != pr.Text {
+			t.Errorf("%s: rendered text differs between serial and parallel runs", ids[i])
+		}
+		if !reflect.DeepEqual(sr.Metrics, pr.Metrics) {
+			t.Errorf("%s: metrics differ between serial and parallel runs", ids[i])
+		}
+	}
+
+	// Overheads: the wall-clock fields are excluded, everything simulated is
+	// compared bit for bit.
+	sOv, pOv := serial.Overheads(), par.Overheads()
+	for k, sv := range sOv.Metrics {
+		if k == "classifyUS" || k == "updateUS" {
+			continue
+		}
+		if pv, ok := pOv.Metrics[k]; !ok || pv != sv {
+			t.Errorf("overhead metric %q: serial %v vs parallel %v", k, sv, pOv.Metrics[k])
+		}
+	}
+
+	// Every cached simulation result — all fields, including the nested
+	// HIR/HPE/driver statistics — must be identical.
+	if ns, np := serial.CachedRuns(), par.CachedRuns(); ns != np {
+		t.Fatalf("run-cache sizes differ: serial %d vs parallel %d", ns, np)
+	}
+	for key, sv := range serial.results {
+		pv, ok := par.results[key]
+		if !ok {
+			t.Errorf("parallel run missing cell %+v", key)
+			continue
+		}
+		if !reflect.DeepEqual(sv, pv) {
+			t.Errorf("cell %+v: gpu.Result differs between serial and parallel runs", key)
+		}
+	}
+}

@@ -5,11 +5,29 @@
 //
 // DESIGN.md §5 maps each experiment to its paper counterpart; EXPERIMENTS.md
 // records paper-reported vs measured values.
+//
+// # Concurrency contract
+//
+// A Suite is safe for concurrent use by multiple goroutines. Every memoized
+// cache (traces, Belady future indexes, simulation results) sits behind a
+// single mutex with singleflight deduplication: when two goroutines ask for
+// the same run, one computes it while the other blocks and receives the same
+// value, so each (app, policy, rate, variant) cell is simulated exactly
+// once per Suite regardless of interleaving. Cached values are immutable
+// once published — traces have their lazy footprint primed before they are
+// shared — so readers never observe partial state. Options.Workers sets the
+// parallelism of Prewarm and Reports; because every simulation is
+// deterministic and aggregation walks the caches in canonical (catalog ×
+// paper) order, a parallel run renders byte-identical reports to a serial
+// one. The Progress callback is serialized: it is never invoked
+// concurrently, though line order under Workers > 1 follows completion
+// order, not canonical order.
 package experiments
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"hpe/internal/gpu"
 	"hpe/internal/hpe"
@@ -76,16 +94,33 @@ type Options struct {
 	// Seed feeds the Random policy.
 	Seed int64
 	// Progress, when non-nil, receives a line per completed simulation.
+	// Invocations are serialized but, under Workers > 1, arrive in
+	// completion order.
 	Progress func(string)
+	// Workers is the number of goroutines Prewarm and Reports spread the
+	// run matrix across. 0 and 1 both mean fully serial execution (the
+	// debugging path); typical callers pass runtime.GOMAXPROCS(0). Results
+	// are byte-identical either way.
+	Workers int
 }
 
-// Suite owns the cached traces and results.
+// Suite owns the cached traces and results. See the package comment for the
+// concurrency contract.
 type Suite struct {
-	opts    Options
-	apps    []workload.App
-	traces  map[string]*trace.Trace
-	futures map[string]*trace.FutureIndex
-	results map[runKey]gpu.Result
+	opts Options
+	apps []workload.App
+
+	// mu guards every map below, including the in-flight singleflight
+	// tables; compute functions run with mu released.
+	mu        sync.Mutex
+	traces    map[string]*trace.Trace
+	traceWIP  map[string]*flight[*trace.Trace]
+	futures   map[string]*trace.FutureIndex
+	futureWIP map[string]*flight[*trace.FutureIndex]
+	results   map[runKey]gpu.Result
+	runWIP    map[runKey]*flight[gpu.Result]
+
+	progressMu sync.Mutex
 }
 
 type runKey struct {
@@ -99,10 +134,13 @@ type runKey struct {
 // subset).
 func NewSuite(opts Options) *Suite {
 	s := &Suite{
-		opts:    opts,
-		traces:  make(map[string]*trace.Trace),
-		futures: make(map[string]*trace.FutureIndex),
-		results: make(map[runKey]gpu.Result),
+		opts:      opts,
+		traces:    make(map[string]*trace.Trace),
+		traceWIP:  make(map[string]*flight[*trace.Trace]),
+		futures:   make(map[string]*trace.FutureIndex),
+		futureWIP: make(map[string]*flight[*trace.FutureIndex]),
+		results:   make(map[runKey]gpu.Result),
+		runWIP:    make(map[runKey]*flight[gpu.Result]),
 	}
 	if opts.Quick {
 		for _, abbr := range []string{"HOT", "GEM", "HSD", "STN", "PAT", "KMN", "NW", "BFS", "SGM", "B+T"} {
@@ -121,23 +159,32 @@ func NewSuite(opts Options) *Suite {
 // Apps returns the applications in play.
 func (s *Suite) Apps() []workload.App { return s.apps }
 
-// Trace returns (and caches) the app's canonical trace.
+// Trace returns (and caches) the app's canonical trace. Concurrent callers
+// for the same app share one generation.
 func (s *Suite) Trace(app workload.App) *trace.Trace {
-	if tr, ok := s.traces[app.Abbr]; ok {
+	tr, _ := dedup(&s.mu, s.traces, s.traceWIP, app.Abbr, func() *trace.Trace {
+		tr := app.Generate()
+		// Prime the trace's lazily-memoized footprint before publication:
+		// Footprint() writes its cache on first call, which would race when
+		// workers share the trace.
+		tr.Footprint()
 		return tr
-	}
-	tr := app.Generate()
-	s.traces[app.Abbr] = tr
+	})
 	return tr
 }
 
 func (s *Suite) future(app workload.App) *trace.FutureIndex {
-	if fi, ok := s.futures[app.Abbr]; ok {
-		return fi
-	}
-	fi := trace.BuildFutureIndex(s.Trace(app))
-	s.futures[app.Abbr] = fi
+	fi, _ := dedup(&s.mu, s.futures, s.futureWIP, app.Abbr, func() *trace.FutureIndex {
+		return trace.BuildFutureIndex(s.Trace(app))
+	})
 	return fi
+}
+
+// CachedRuns reports how many simulation results the Suite has memoized.
+func (s *Suite) CachedRuns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
 }
 
 // capacityFor translates an oversubscription rate into a device-memory size:
@@ -191,41 +238,48 @@ func (s *Suite) simConfig(app workload.App, capacity int, kind PolicyKind) gpu.C
 }
 
 // Run returns the cached or freshly simulated result for (app, policy, rate).
+// Concurrent callers for the same cell share one simulation.
 func (s *Suite) Run(app workload.App, kind PolicyKind, ratePct int) gpu.Result {
 	key := runKey{app: app.Abbr, kind: kind, ratePct: ratePct}
-	if r, ok := s.results[key]; ok {
-		return r
-	}
-	tr := s.Trace(app)
-	capacity := capacityFor(tr, ratePct)
-	cfg := s.simConfig(app, capacity, kind)
-	pol := s.buildPolicy(kind, app, capacity)
-	r := gpu.Run(cfg, tr, pol)
-	s.results[key] = r
-	if s.opts.Progress != nil {
-		s.opts.Progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", app.Abbr, kind, ratePct, r))
+	r, computed := dedup(&s.mu, s.results, s.runWIP, key, func() gpu.Result {
+		tr := s.Trace(app)
+		capacity := capacityFor(tr, ratePct)
+		cfg := s.simConfig(app, capacity, kind)
+		pol := s.buildPolicy(kind, app, capacity)
+		return gpu.Run(cfg, tr, pol)
+	})
+	if computed {
+		s.progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", app.Abbr, kind, ratePct, r))
 	}
 	return r
 }
 
 // RunVariant simulates with a caller-customised configuration, cached under
 // the variant label. The mutate callback may adjust both the system config
-// and swap the policy.
+// and swap the policy; it runs at most once per key across all goroutines.
 func (s *Suite) RunVariant(app workload.App, kind PolicyKind, ratePct int, variant string,
 	build func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy)) gpu.Result {
 	key := runKey{app: app.Abbr, kind: kind, ratePct: ratePct, variant: variant}
-	if r, ok := s.results[key]; ok {
-		return r
-	}
-	tr := s.Trace(app)
-	capacity := capacityFor(tr, ratePct)
-	cfg, pol := build(tr, capacity)
-	r := gpu.Run(cfg, tr, pol)
-	s.results[key] = r
-	if s.opts.Progress != nil {
-		s.opts.Progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", app.Abbr, kind, ratePct, variant, r))
+	r, computed := dedup(&s.mu, s.results, s.runWIP, key, func() gpu.Result {
+		tr := s.Trace(app)
+		capacity := capacityFor(tr, ratePct)
+		cfg, pol := build(tr, capacity)
+		return gpu.Run(cfg, tr, pol)
+	})
+	if computed {
+		s.progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", app.Abbr, kind, ratePct, variant, r))
 	}
 	return r
+}
+
+// progress emits one line to the Progress callback, serialized.
+func (s *Suite) progress(line string) {
+	if s.opts.Progress == nil {
+		return
+	}
+	s.progressMu.Lock()
+	s.opts.Progress(line)
+	s.progressMu.Unlock()
 }
 
 // Report is an experiment's rendered output plus its headline numbers for

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/trace"
+)
+
+// Property tests for the Table II generators: every catalog app must
+// generate deterministically, stay inside its declared footprint, and emit
+// well-formed barriers — under the default geometry and every sensitivity
+// geometry (page-set sizes 8/16/32). FuzzCatalogGenerate extends the same
+// invariants to fuzzed (app, geometry) combinations; `go test` runs its seed
+// corpus on every invocation and `go test -fuzz=FuzzCatalogGenerate` mutates
+// beyond it.
+
+// checkTraceInvariants asserts the generator contract for one generated
+// trace of app under geometry g.
+func checkTraceInvariants(t *testing.T, app App, g addrspace.Geometry, tr *trace.Trace) {
+	t.Helper()
+	if tr.Name != app.Abbr {
+		t.Errorf("%s: trace named %q", app.Abbr, tr.Name)
+	}
+	if tr.Len() == 0 {
+		t.Fatalf("%s: empty trace", app.Abbr)
+	}
+	// Every page ID falls inside the declared allocation: [base, base+Pages()).
+	// The base set is the workload allocation origin (apps.go baseSet) under
+	// the generation geometry.
+	lo := g.FirstPage(baseSet)
+	hi := lo + addrspace.PageID(app.Pages())
+	for i, p := range tr.Refs {
+		if p < lo || p >= hi {
+			t.Fatalf("%s: ref %d = %v outside declared footprint [%v, %v)", app.Abbr, i, p, lo, hi)
+		}
+	}
+	// The measured footprint never exceeds the catalog entry's nominal pages.
+	if fp := tr.Footprint(); fp < 1 || fp > app.Pages() {
+		t.Errorf("%s: footprint %d pages outside (0, %d]", app.Abbr, fp, app.Pages())
+	}
+	// Barriers are strictly ascending and strictly inside the trace.
+	prev := 0
+	for _, b := range tr.Barriers {
+		if b <= prev || b >= tr.Len() {
+			t.Errorf("%s: malformed barrier %d (prev %d, len %d)", app.Abbr, b, prev, tr.Len())
+		}
+		prev = b
+	}
+}
+
+func TestCatalogGenerateDeterministic(t *testing.T) {
+	for _, app := range Catalog() {
+		t1, t2 := app.Generate(), app.Generate()
+		if t1.Name != t2.Name || !reflect.DeepEqual(t1.Refs, t2.Refs) ||
+			!reflect.DeepEqual(t1.Barriers, t2.Barriers) {
+			t.Errorf("%s: Generate() is not deterministic across calls", app.Abbr)
+		}
+	}
+}
+
+func TestCatalogGenerateInvariants(t *testing.T) {
+	g := addrspace.DefaultGeometry()
+	for _, app := range Catalog() {
+		checkTraceInvariants(t, app, g, app.Generate())
+	}
+}
+
+// TestCatalogGeometryProperty drives the invariants through testing/quick
+// over random (app, page-set size) combinations — the quick-check fallback
+// for environments that never run the fuzzer.
+func TestCatalogGeometryProperty(t *testing.T) {
+	cat := Catalog()
+	prop := func(appSel, shiftSel uint8) bool {
+		app := cat[int(appSel)%len(cat)]
+		g := addrspace.NewGeometry(uint(3 + shiftSel%3)) // set sizes 8/16/32
+		t1 := app.GenerateWithGeometry(g)
+		t2 := app.GenerateWithGeometry(g)
+		if !reflect.DeepEqual(t1.Refs, t2.Refs) || !reflect.DeepEqual(t1.Barriers, t2.Barriers) {
+			t.Logf("%s: GenerateWithGeometry(shift %d) not deterministic", app.Abbr, g.SetShift())
+			return false
+		}
+		checkTraceInvariants(t, app, g, t1)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzCatalogGenerate fuzzes (app, geometry) selection. The seed corpus
+// covers every catalog app at the default geometry plus the Fig. 7
+// sensitivity sizes, so plain `go test` exercises all of them.
+func FuzzCatalogGenerate(f *testing.F) {
+	for i := range Catalog() {
+		f.Add(uint8(i), uint8(1)) // default 16-page sets
+	}
+	f.Add(uint8(0), uint8(0)) // 8-page sets
+	f.Add(uint8(0), uint8(2)) // 32-page sets
+	f.Fuzz(func(t *testing.T, appSel, shiftSel uint8) {
+		cat := Catalog()
+		app := cat[int(appSel)%len(cat)]
+		g := addrspace.NewGeometry(uint(3 + shiftSel%3))
+		t1 := app.GenerateWithGeometry(g)
+		t2 := app.GenerateWithGeometry(g)
+		if !reflect.DeepEqual(t1.Refs, t2.Refs) || !reflect.DeepEqual(t1.Barriers, t2.Barriers) {
+			t.Fatalf("%s: GenerateWithGeometry(shift %d) not deterministic", app.Abbr, g.SetShift())
+		}
+		checkTraceInvariants(t, app, g, t1)
+	})
+}
