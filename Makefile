@@ -1,0 +1,44 @@
+# Developer entry points for the checks ROADMAP.md requires before merging.
+# `make check` is the full pre-merge gate: tier-1 (build + test), static
+# analysis, the race-detector subset over the suite's shared-cache paths,
+# and the fuzz seed corpus.
+
+GO ?= go
+
+.PHONY: all check build test vet race fuzz-seed bench bench-probe clean
+
+all: check
+
+check: build vet test race fuzz-seed
+
+# Tier-1 verify (ROADMAP.md).
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The experiment suite's shared-cache paths under the race detector (~35 s).
+race:
+	$(GO) test -race -run 'Concurrent|Dedup|RunPool' ./internal/experiments/
+
+# Fuzz targets, seed corpus only (the -fuzz loop is interactive; run
+# `go test -fuzz=FuzzCatalogGenerate ./internal/workload/` to explore).
+fuzz-seed:
+	$(GO) test -run 'Fuzz' ./internal/workload/
+
+# One benchmark per paper table/figure plus the ablations.
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+# Probe overhead contract: BenchmarkNilProbe must track
+# BenchmarkSimulatorThroughput-class numbers (nil probe = one dead branch
+# per emission site); BenchmarkMetricsProbe prices the instrumentation.
+bench-probe:
+	$(GO) test -run '^$$' -bench 'BenchmarkNilProbe|BenchmarkMetricsProbe' -benchtime=5x -count=3 .
+
+clean:
+	$(GO) clean ./...

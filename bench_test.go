@@ -295,6 +295,38 @@ func BenchmarkAblationExtraBaselines(b *testing.B) {
 	b.ReportMetric(float64(lfu), "faults-lfu")
 }
 
+// --- Probe overhead --------------------------------------------------------------
+
+// BenchmarkNilProbe is the overhead contract of the observability layer: a
+// run with no probe attached must match the pre-probe fast path (every
+// emission site is one nil check). Compare against BenchmarkMetricsProbe to
+// price the instrumentation itself.
+func BenchmarkNilProbe(b *testing.B) {
+	tr, capacity := thrashingSetup()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		res := hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewLRU())
+		total += int(res.Accesses)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkMetricsProbe runs the same simulation with a Metrics probe
+// attached — the cheapest real probe, priced per event.
+func BenchmarkMetricsProbe(b *testing.B) {
+	tr, capacity := thrashingSetup()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		m := hpe.NewMetricsProbe()
+		res := hpe.Simulate(hpe.SystemConfig(capacity), tr, hpe.NewLRU(), hpe.WithProbe(m))
+		total += int(res.Accesses)
+		if res.Probe == nil || res.Probe.Events == 0 {
+			b.Fatal("metrics probe observed nothing")
+		}
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "accesses/s")
+}
+
 // BenchmarkSimulatorThroughput measures raw simulator speed (accesses per
 // second of wall time) on the largest workload.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpe/internal/experiments"
+)
+
+func TestEncodeReportsClampsNonFinite(t *testing.T) {
+	reports := []experiments.Report{{
+		ID:    "r",
+		Title: "T",
+		Metrics: map[string]float64{
+			"ok":      1.5,
+			"posinf":  math.Inf(1),
+			"neginf":  math.Inf(-1),
+			"notanum": math.NaN(),
+		},
+	}}
+	out := encodeReports(reports)
+	if len(out) != 1 {
+		t.Fatalf("encoded %d reports", len(out))
+	}
+	r := out[0]
+	if r.ID != "r" || r.Title != "T" {
+		t.Fatalf("identity lost: %+v", r)
+	}
+	if r.Metrics["ok"] != 1.5 {
+		t.Fatalf("finite metric rewritten: %v", r.Metrics["ok"])
+	}
+	if r.Metrics["posinf"] != math.MaxFloat64 || r.Metrics["neginf"] != -math.MaxFloat64 {
+		t.Fatalf("infinities not clamped: %v, %v", r.Metrics["posinf"], r.Metrics["neginf"])
+	}
+	if _, ok := r.Metrics["notanum"]; ok {
+		t.Fatal("NaN metric not dropped")
+	}
+	// Every rewritten key is recorded, with the reason.
+	want := map[string]string{
+		"posinf":  "+Inf: clamped to +MaxFloat64",
+		"neginf":  "-Inf: clamped to -MaxFloat64",
+		"notanum": "NaN: dropped",
+	}
+	if len(r.Clamped) != len(want) {
+		t.Fatalf("clamped = %v", r.Clamped)
+	}
+	for k, v := range want {
+		if r.Clamped[k] != v {
+			t.Errorf("clamped[%q] = %q, want %q", k, r.Clamped[k], v)
+		}
+	}
+	if _, ok := r.Clamped["ok"]; ok {
+		t.Fatal("finite metric recorded as clamped")
+	}
+}
+
+func TestEncodeReportsOmitsEmptyClamped(t *testing.T) {
+	out := encodeReports([]experiments.Report{{ID: "r", Metrics: map[string]float64{"a": 1}}})
+	if out[0].Clamped != nil {
+		t.Fatalf("clamped should stay nil for finite metrics: %v", out[0].Clamped)
+	}
+	raw, err := json.Marshal(out[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asMap map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &asMap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := asMap["clamped"]; ok {
+		t.Fatal("empty clamped field serialised")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	reports := []experiments.Report{{
+		ID: "x", Title: "X",
+		Metrics: map[string]float64{"v": 2, "inf": math.Inf(1)},
+	}}
+	if err := writeJSON(path, reports); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []jsonReport
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(got) != 1 || got[0].ID != "x" || got[0].Metrics["v"] != 2 {
+		t.Fatalf("round-trip = %+v", got)
+	}
+	if got[0].Metrics["inf"] != math.MaxFloat64 || got[0].Clamped["inf"] == "" {
+		t.Fatalf("clamping lost in round-trip: %+v", got[0])
+	}
+}
+
+func TestWriteJSONBadPath(t *testing.T) {
+	err := writeJSON(filepath.Join(t.TempDir(), "no", "such", "dir", "x.json"), nil)
+	if err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestRunLabel(t *testing.T) {
+	cases := map[experiments.RunInfo]string{
+		{App: "HSD", Policy: "lru", RatePct: 75}:                       "HSD_lru_75",
+		{App: "B+T", Policy: "hpe", RatePct: 50, Variant: "walk 20"}:   "B-T_hpe_50_walk-20",
+		{App: "S/D", Policy: "clockpro", RatePct: 100, Variant: "a.b"}: "S-D_clockpro_100_a.b",
+	}
+	for info, want := range cases {
+		if got := runLabel(info); got != want {
+			t.Errorf("runLabel(%+v) = %q, want %q", info, got, want)
+		}
+	}
+}
+
+func TestBuildProbeFactoryOffByDefault(t *testing.T) {
+	if buildProbeFactory("", false) != nil {
+		t.Fatal("factory should be nil with -trace and -metrics off (fast path)")
+	}
+}
+
+func TestBuildProbeFactoryTrace(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	factory := buildProbeFactory(dir, false)
+	if factory == nil {
+		t.Fatal("nil factory with -trace set")
+	}
+	p := factory(experiments.RunInfo{App: "HSD", Policy: "lru", RatePct: 75})
+	if p == nil {
+		t.Fatal("factory returned no probe")
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "HSD_lru_75.trace.json"))
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace document (lane metadata expected)")
+	}
+}

@@ -29,9 +29,11 @@ func loadTrace(r io.Reader) (*hpe.Trace, error) { return trace.Read(r) }
 func main() {
 	appAbbr := flag.String("app", "HSD", "workload abbreviation (see -list)")
 	tracePath := flag.String("trace", "", "run a trace file instead of a catalog workload")
-	policies := flag.String("policy", "hpe", "comma-separated: lru, fifo, lfu, random, rrip, clockpro, ideal, hpe")
+	policies := flag.String("policy", "hpe", "comma-separated policy names (see -policies)")
 	rate := flag.Int("rate", 75, "oversubscription rate in percent (memory = rate% of footprint)")
 	list := flag.Bool("list", false, "list catalog workloads and exit")
+	listPolicies := flag.Bool("policies", false, "list registered eviction policies and exit")
+	metrics := flag.Bool("metrics", false, "attach a metrics probe and print per-event histograms")
 	verbose := flag.Bool("v", false, "print extended statistics")
 	prefetch := flag.Int("prefetch", 0, "extra pages migrated per fault from the same 64-KB block")
 	channels := flag.Int("channels", 1, "parallel fault-service channels in the driver")
@@ -42,6 +44,12 @@ func main() {
 	if *list {
 		for _, a := range hpe.Workloads() {
 			fmt.Println(a)
+		}
+		return
+	}
+	if *listPolicies {
+		for _, info := range hpe.Policies() {
+			fmt.Printf("%-10s %-10s %s\n", info.Name, info.Display, info.Description)
 		}
 		return
 	}
@@ -92,34 +100,34 @@ func main() {
 		default:
 			fatalf("unknown translation design %q (l2tlb or pwc)", *design)
 		}
-		var res hpe.Result
-		switch name {
-		case "hpe":
-			res = hpe.SimulateHPE(cfg, tr, hpe.DefaultHPEConfig())
-		case "lru":
-			res = hpe.Simulate(cfg, tr, hpe.NewLRU())
-		case "fifo":
-			res = hpe.Simulate(cfg, tr, hpe.NewFIFO())
-		case "lfu":
-			res = hpe.Simulate(cfg, tr, hpe.NewLFU())
-		case "random":
-			res = hpe.Simulate(cfg, tr, hpe.NewRandom(1))
-		case "rrip":
-			rc := hpe.DefaultRRIPConfig()
-			if haveApp && app.Pattern == workload.PatternThrashing {
-				rc = hpe.ThrashingRRIPConfig()
-			}
-			res = hpe.Simulate(cfg, tr, hpe.NewRRIP(rc))
-		case "clockpro":
-			res = hpe.Simulate(cfg, tr, hpe.NewClockPro(capacity))
-		case "ideal":
-			res = hpe.Simulate(cfg, tr, hpe.NewIdeal(tr))
-		default:
-			fatalf("unknown policy %q", name)
+		popts := []hpe.PolicyOption{
+			hpe.WithPolicySeed(1),
+			hpe.WithCapacity(capacity),
+			hpe.WithTrace(tr),
 		}
+		if haveApp && app.Pattern == workload.PatternThrashing {
+			popts = append(popts, hpe.WithThrashingRRIP())
+		}
+		pol, err := hpe.NewPolicy(name, popts...)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var ropts []hpe.RunOption
+		if info, ok := hpe.LookupPolicy(name); ok && info.NeedsHIR {
+			ropts = append(ropts, hpe.WithHIR())
+		}
+		var m *hpe.MetricsProbe
+		if *metrics {
+			m = hpe.NewMetricsProbe()
+			ropts = append(ropts, hpe.WithProbe(m))
+		}
+		res := hpe.Simulate(cfg, tr, pol, ropts...)
 		fmt.Println(res)
 		if *verbose {
 			printDetails(res)
+		}
+		if m != nil {
+			fmt.Println("  probe: " + strings.ReplaceAll(m.Snapshot().String(), "\n", "\n  "))
 		}
 	}
 }

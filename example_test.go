@@ -2,6 +2,7 @@ package hpe_test
 
 import (
 	"fmt"
+	"strings"
 
 	"hpe"
 )
@@ -40,6 +41,39 @@ func ExampleReplay() {
 		float64(lru.Evictions)/float64(ideal.Evictions))
 	// Output:
 	// LRU evicts 3.4x what Belady-MIN would
+}
+
+// ExampleNewPolicy builds policies by registry name — the API the experiment
+// harness and both CLIs use. Options a policy does not understand are
+// ignored, so one uniform option set serves the whole registry.
+func ExampleNewPolicy() {
+	pol, err := hpe.NewPolicy("clock-pro", hpe.WithCapacity(1024))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(pol.Name())
+	fmt.Println(strings.Join(hpe.PolicyNames(), " "))
+	// Output:
+	// CLOCK-Pro
+	// lru random rrip clockpro ideal hpe fifo lfu clock nru arc setlru
+}
+
+// ExampleWithProbe attaches a metrics probe to a run. Probes observe the
+// simulator's typed event stream without changing any result; the metrics
+// snapshot surfaces on Result.Probe.
+func ExampleWithProbe() {
+	app, _ := hpe.WorkloadByAbbr("HSD")
+	tr := app.Generate()
+	cfg := hpe.SystemConfig(tr.Footprint() * 75 / 100)
+
+	m := hpe.NewMetricsProbe()
+	res := hpe.Simulate(cfg, tr, hpe.NewLRU(), hpe.WithProbe(m))
+
+	fmt.Printf("faults: %d\n", res.Faults)
+	fmt.Printf("probe fault_end events: %d\n", res.Probe.Count("fault_end"))
+	// Output:
+	// faults: 13824
+	// probe fault_end events: 13824
 }
 
 // ExampleHPEStatsOf inspects HPE's classification of a workload.

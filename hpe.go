@@ -104,20 +104,42 @@ func WorkloadsByPattern(p PatternType) []App { return workload.ByPattern(p) }
 // device-memory capacity in pages.
 func SystemConfig(memoryPages int) Config { return gpu.DefaultConfig(memoryPages) }
 
-// Simulate runs one trace under one policy on the Table I system.
-func Simulate(cfg Config, tr *Trace, pol Policy) Result { return gpu.Run(cfg, tr, pol) }
+// Simulate runs one trace under one policy on the Table I system. Run
+// options attach instrumentation and tweak run-scoped knobs:
+//
+//	m := hpe.NewMetricsProbe()
+//	r := hpe.Simulate(cfg, tr, hpe.NewLRU(), hpe.WithProbe(m))
+//	fmt.Println(r.Probe.Count("fault_end"))
+func Simulate(cfg Config, tr *Trace, pol Policy, opts ...RunOption) Result {
+	rc, pr := applyRunOptions(pol, opts)
+	if rc.useHIR {
+		cfg.UseHIR = true
+	}
+	var gopts []gpu.Option
+	if pr != nil {
+		gopts = append(gopts, gpu.WithProbe(pr))
+	}
+	r := gpu.Run(cfg, tr, pol, gopts...)
+	flushProbe(pr)
+	return r
+}
 
 // SimulateHPE runs the full production HPE configuration (HIR cache attached,
 // walk hits batched every 16th fault, dynamic adjustment on).
-func SimulateHPE(cfg Config, tr *Trace, hpeCfg HPEConfig) Result {
-	cfg.UseHIR = true
-	return gpu.Run(cfg, tr, hpecore.New(hpeCfg))
+func SimulateHPE(cfg Config, tr *Trace, hpeCfg HPEConfig, opts ...RunOption) Result {
+	opts = append(opts, WithHIR())
+	return Simulate(cfg, tr, hpecore.New(hpeCfg), opts...)
 }
 
 // Replay runs a timing-free reference-string replay: demand paging only, no
 // TLBs or latencies — the right tool for quick eviction-count comparisons.
-func Replay(tr *Trace, pol Policy, capacityPages int) ReplayResult {
-	return policy.Replay(tr, pol, capacityPages)
+// WithProbe attaches instrumentation (events carry the trace position as
+// their timestamp); WithHIR has no effect here.
+func Replay(tr *Trace, pol Policy, capacityPages int, opts ...RunOption) ReplayResult {
+	_, pr := applyRunOptions(pol, opts)
+	r := policy.ReplayProbed(tr, pol, capacityPages, pr)
+	flushProbe(pr)
+	return r
 }
 
 // DefaultHPEConfig returns the paper's published HPE parameters: 16-page
@@ -125,24 +147,27 @@ func Replay(tr *Trace, pol Policy, capacityPages int) ReplayResult {
 // wrong-eviction threshold 16.
 func DefaultHPEConfig() HPEConfig { return hpecore.DefaultConfig() }
 
+// Fixed policy constructors. These are thin compatibility wrappers over the
+// name-keyed registry (NewPolicy / PolicyNames), which is the primary API.
+
 // NewHPE builds an HPE policy instance (one per simulation run).
-func NewHPE(cfg HPEConfig) Policy { return hpecore.New(cfg) }
+func NewHPE(cfg HPEConfig) Policy { return mustPolicy("hpe", WithHPEConfig(cfg)) }
 
 // NewLRU builds a page-level LRU policy.
-func NewLRU() Policy { return policy.NewLRU() }
+func NewLRU() Policy { return mustPolicy("lru") }
 
 // NewFIFO builds a FIFO policy.
-func NewFIFO() Policy { return policy.NewFIFO() }
+func NewFIFO() Policy { return mustPolicy("fifo") }
 
 // NewLFU builds a least-frequently-used policy.
-func NewLFU() Policy { return policy.NewLFU() }
+func NewLFU() Policy { return mustPolicy("lfu") }
 
 // NewRandom builds a random-eviction policy with a deterministic seed.
-func NewRandom(seed int64) Policy { return policy.NewRandom(seed) }
+func NewRandom(seed int64) Policy { return mustPolicy("random", WithPolicySeed(seed)) }
 
 // NewRRIP builds the paper's enhanced RRIP policy. Use
 // policy-defaults via DefaultRRIPConfig / ThrashingRRIPConfig.
-func NewRRIP(cfg RRIPConfig) Policy { return policy.NewRRIP(cfg) }
+func NewRRIP(cfg RRIPConfig) Policy { return mustPolicy("rrip", WithRRIPConfig(cfg)) }
 
 // DefaultRRIPConfig is the non-Type-II RRIP setup (long insertion, no delay).
 func DefaultRRIPConfig() RRIPConfig { return policy.DefaultRRIPConfig() }
@@ -153,24 +178,24 @@ func ThrashingRRIPConfig() RRIPConfig { return policy.ThrashingRRIPConfig() }
 
 // NewClockPro builds CLOCK-Pro with the paper's fixed m_c = 128.
 func NewClockPro(capacityPages int) Policy {
-	return policy.NewClockPro(capacityPages, policy.DefaultColdTarget)
+	return mustPolicy("clockpro", WithCapacity(capacityPages))
 }
 
 // NewIdeal builds the offline Belady-MIN oracle over the given trace.
-func NewIdeal(tr *Trace) Policy { return policy.NewIdealFactory(tr)(0) }
+func NewIdeal(tr *Trace) Policy { return mustPolicy("ideal", WithTrace(tr)) }
 
 // NewSetLRU builds the set-granularity LRU ablation policy: HPE's eviction
 // granularity with none of its partition or classification machinery.
-func NewSetLRU() Policy { return policy.NewSetLRU(addrspace.DefaultGeometry()) }
+func NewSetLRU() Policy { return mustPolicy("setlru") }
 
 // NewClock builds the classic CLOCK second-chance policy.
-func NewClock() Policy { return policy.NewClock() }
+func NewClock() Policy { return mustPolicy("clock") }
 
 // NewNRU builds the not-recently-used policy.
-func NewNRU() Policy { return policy.NewNRU() }
+func NewNRU() Policy { return mustPolicy("nru") }
 
 // NewARC builds the Adaptive Replacement Cache for the given capacity.
-func NewARC(capacityPages int) Policy { return policy.NewARC(capacityPages) }
+func NewARC(capacityPages int) Policy { return mustPolicy("arc", WithCapacity(capacityPages)) }
 
 // NewSuite builds the experiment harness over the full catalog (or the
 // quick subset).

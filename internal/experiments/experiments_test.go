@@ -137,9 +137,9 @@ func TestBuildPolicyKinds(t *testing.T) {
 	for kind, wantName := range map[PolicyKind]string{
 		KindClock: "CLOCK", KindNRU: "NRU", KindARC: "ARC",
 	} {
-		pol := s.buildExtended(kind, 100)
+		pol := s.buildPolicy(kind, app, 100)
 		if pol == nil || pol.Name() != wantName {
-			t.Errorf("buildExtended(%v) wrong", kind)
+			t.Errorf("buildPolicy(%v) wrong", kind)
 		}
 	}
 	defer func() {

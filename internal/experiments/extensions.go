@@ -28,40 +28,14 @@ const (
 	KindARC
 )
 
-// buildExtended constructs the extension policies (the base set remains in
-// buildPolicy).
-func (s *Suite) buildExtended(kind PolicyKind, capacity int) policy.Policy {
-	switch kind {
-	case KindClock:
-		return policy.NewClock()
-	case KindNRU:
-		return policy.NewNRU()
-	case KindARC:
-		return policy.NewARC(capacity)
-	default:
-		return nil
-	}
-}
-
-func extendedName(kind PolicyKind) string {
-	switch kind {
-	case KindClock:
-		return "CLOCK"
-	case KindNRU:
-		return "NRU"
-	case KindARC:
-		return "ARC"
-	default:
-		return kind.String()
-	}
-}
-
 // ExtendedPolicies compares the related-work policies against LRU, HPE and
-// Ideal at 75% oversubscription (experiment id "ext").
+// Ideal at 75% oversubscription (experiment id "ext"). Every policy —
+// including the extension set — now builds through the registry, so this is
+// a plain matrix over kinds.
 func (s *Suite) ExtendedPolicies() Report {
 	header := []string{"app", "LRU"}
 	for _, k := range extendedKinds {
-		header = append(header, extendedName(k))
+		header = append(header, k.String())
 	}
 	header = append(header, "HPE", "Ideal=1.0")
 	tb := stats.NewTable(header...)
@@ -77,18 +51,7 @@ func (s *Suite) ExtendedPolicies() Report {
 		}
 		add("LRU", s.Run(app, KindLRU, 75))
 		for _, kind := range extendedKinds {
-			var r gpu.Result
-			switch kind {
-			case KindFIFO, KindLFU:
-				r = s.Run(app, kind, 75)
-			default:
-				kindC := kind
-				r = s.RunVariant(app, kindC, 75, "ext",
-					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-						return s.simConfig(app, capacity, kindC), s.buildExtended(kindC, capacity)
-					})
-			}
-			add(extendedName(kind), r)
+			add(kind.String(), s.Run(app, kind, 75))
 		}
 		add("HPE", s.Run(app, KindHPE, 75))
 		row = append(row, 1.0)

@@ -30,8 +30,9 @@ import (
 	"sync"
 
 	"hpe/internal/gpu"
-	"hpe/internal/hpe"
 	"hpe/internal/policy"
+	"hpe/internal/probe"
+	"hpe/internal/registry"
 	"hpe/internal/sim"
 	"hpe/internal/trace"
 	"hpe/internal/workload"
@@ -59,28 +60,38 @@ const (
 	KindLFU
 )
 
+// kindNames maps each PolicyKind to its registry name — the suite's only
+// policy-kind table; construction and display strings both go through the
+// registry from here.
+var kindNames = map[PolicyKind]string{
+	KindLRU:      "lru",
+	KindRandom:   "random",
+	KindRRIP:     "rrip",
+	KindClockPro: "clockpro",
+	KindIdeal:    "ideal",
+	KindHPE:      "hpe",
+	KindFIFO:     "fifo",
+	KindLFU:      "lfu",
+	KindClock:    "clock",
+	KindNRU:      "nru",
+	KindARC:      "arc",
+}
+
+// kindName resolves a kind to its registry name.
+func kindName(k PolicyKind) string {
+	name, ok := kindNames[k]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown policy kind %d", int(k)))
+	}
+	return name
+}
+
 // String names the policy as the paper does.
 func (k PolicyKind) String() string {
-	switch k {
-	case KindLRU:
-		return "LRU"
-	case KindRandom:
-		return "Random"
-	case KindRRIP:
-		return "RRIP"
-	case KindClockPro:
-		return "CLOCK-Pro"
-	case KindIdeal:
-		return "Ideal"
-	case KindHPE:
-		return "HPE"
-	case KindFIFO:
-		return "FIFO"
-	case KindLFU:
-		return "LFU"
-	default:
-		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	if name, ok := kindNames[k]; ok {
+		return registry.DisplayName(name)
 	}
+	return fmt.Sprintf("PolicyKind(%d)", int(k))
 }
 
 // ComparisonPolicies is the paper's Fig. 12 policy set.
@@ -102,6 +113,26 @@ type Options struct {
 	// debugging path); typical callers pass runtime.GOMAXPROCS(0). Results
 	// are byte-identical either way.
 	Workers int
+	// Probe, when non-nil, is invoked once per simulation (each memoized
+	// cell runs exactly once regardless of workers) to build that run's
+	// instrumentation probe; returning nil leaves the run unprobed. The
+	// probe is flushed when the run completes. Probes observe only, so
+	// attaching them never changes a report.
+	Probe func(RunInfo) probe.Probe
+}
+
+// RunInfo identifies one simulation of the run matrix, as handed to the
+// Options.Probe factory.
+type RunInfo struct {
+	// App is the workload abbreviation ("HSD").
+	App string
+	// Policy is the registry policy name ("lru", "hpe").
+	Policy string
+	// RatePct is the oversubscription rate (75 means 75% of the footprint
+	// fits).
+	RatePct int
+	// Variant labels customised configurations ("" for the default).
+	Variant string
 }
 
 // Suite owns the cached traces and results. See the package comment for the
@@ -197,41 +228,32 @@ func capacityFor(tr *trace.Trace, ratePct int) int {
 	return c
 }
 
-// buildPolicy constructs a fresh policy instance for one run. RRIP is
-// configured per the paper: Type II applications get distant insertion with
-// a delay threshold of 128; everything else long insertion with threshold 0.
+// buildPolicy constructs a fresh policy instance for one run via the
+// registry. The option set is uniform across policies: each builder consumes
+// what it understands (RRIP takes the thrashing preset on Type II apps — the
+// paper's distant insertion with delay threshold 128 — Ideal takes the lazy
+// future index, CLOCK-Pro and ARC the capacity) and ignores the rest.
 func (s *Suite) buildPolicy(kind PolicyKind, app workload.App, capacity int) policy.Policy {
-	switch kind {
-	case KindLRU:
-		return policy.NewLRU()
-	case KindFIFO:
-		return policy.NewFIFO()
-	case KindLFU:
-		return policy.NewLFU()
-	case KindRandom:
-		return policy.NewRandom(s.opts.Seed + 1)
-	case KindRRIP:
-		cfg := policy.DefaultRRIPConfig()
-		if app.Pattern == workload.PatternThrashing {
-			cfg = policy.ThrashingRRIPConfig()
-		}
-		return policy.NewRRIP(cfg)
-	case KindClockPro:
-		return policy.NewClockPro(capacity, policy.DefaultColdTarget)
-	case KindIdeal:
-		return policy.NewIdeal(s.future(app))
-	case KindHPE:
-		return hpe.New(hpe.DefaultConfig())
-	default:
-		panic(fmt.Sprintf("experiments: unknown policy kind %d", int(kind)))
+	opts := []registry.Option{
+		registry.WithSeed(s.opts.Seed + 1),
+		registry.WithCapacity(capacity),
+		registry.WithFutureIndex(func() *trace.FutureIndex { return s.future(app) }),
 	}
+	if app.Pattern == workload.PatternThrashing {
+		opts = append(opts, registry.WithThrashingRRIP())
+	}
+	pol, err := registry.New(kindName(kind), opts...)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return pol
 }
 
 // simConfig builds the Table I system for one run.
 func (s *Suite) simConfig(app workload.App, capacity int, kind PolicyKind) gpu.Config {
 	cfg := gpu.DefaultConfig(capacity)
 	cfg.ComputeGap = sim.Cycle(max(0, app.ComputeGap))
-	if kind == KindHPE {
+	if registry.NeedsHIR(kindName(kind)) {
 		cfg.UseHIR = true
 	}
 	return cfg
@@ -246,7 +268,7 @@ func (s *Suite) Run(app workload.App, kind PolicyKind, ratePct int) gpu.Result {
 		capacity := capacityFor(tr, ratePct)
 		cfg := s.simConfig(app, capacity, kind)
 		pol := s.buildPolicy(kind, app, capacity)
-		return gpu.Run(cfg, tr, pol)
+		return s.simulate(key, cfg, tr, pol)
 	})
 	if computed {
 		s.progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", app.Abbr, kind, ratePct, r))
@@ -264,10 +286,31 @@ func (s *Suite) RunVariant(app workload.App, kind PolicyKind, ratePct int, varia
 		tr := s.Trace(app)
 		capacity := capacityFor(tr, ratePct)
 		cfg, pol := build(tr, capacity)
-		return gpu.Run(cfg, tr, pol)
+		return s.simulate(key, cfg, tr, pol)
 	})
 	if computed {
 		s.progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", app.Abbr, kind, ratePct, variant, r))
+	}
+	return r
+}
+
+// simulate runs one configured cell, attaching (and flushing) the caller's
+// probe when an Options.Probe factory is set.
+func (s *Suite) simulate(key runKey, cfg gpu.Config, tr *trace.Trace, pol policy.Policy) gpu.Result {
+	var opts []gpu.Option
+	var pr probe.Probe
+	if s.opts.Probe != nil {
+		pr = s.opts.Probe(RunInfo{App: key.app, Policy: kindName(key.kind),
+			RatePct: key.ratePct, Variant: key.variant})
+		if pr != nil {
+			opts = append(opts, gpu.WithProbe(pr))
+		}
+	}
+	r := gpu.Run(cfg, tr, pol, opts...)
+	if pr != nil {
+		if err := pr.Flush(); err != nil {
+			s.progress(fmt.Sprintf("probe flush %s/%s@%d%%: %v", key.app, kindName(key.kind), key.ratePct, err))
+		}
 	}
 	return r
 }

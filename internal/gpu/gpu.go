@@ -30,6 +30,7 @@ import (
 	"hpe/internal/hpe"
 	"hpe/internal/mem"
 	"hpe/internal/policy"
+	"hpe/internal/probe"
 	"hpe/internal/ptw"
 	"hpe/internal/sim"
 	"hpe/internal/tlb"
@@ -170,6 +171,9 @@ type Result struct {
 	Driver uvm.Stats
 	HIR    *hir.Stats
 	HPE    *hpe.Stats
+	// Probe carries the metrics-probe snapshot when a probe.Metrics was
+	// attached to the run (directly or inside a probe.Multi); nil otherwise.
+	Probe *probe.Snapshot
 	// PTW carries the radix-walker statistics when the PWC design is active.
 	PTW *ptw.Stats
 	// Data-path statistics (ModelDataPath runs only).
@@ -218,6 +222,7 @@ type Simulator struct {
 	dramC  *dram.DRAM   // nil unless ModelDataPath
 	sms    []*smState
 	hirC   *hir.Cache
+	probe  probe.Probe // nil unless instrumented (WithProbe)
 
 	cursor      int
 	walkWaiters map[addrspace.PageID][]continuation
@@ -233,9 +238,27 @@ type Simulator struct {
 	barriers   uint64 // crossed, for stats
 }
 
+// Option customises a Simulator beyond its Config (run-scoped concerns that
+// are not part of the simulated system, such as instrumentation).
+type Option func(*Simulator)
+
+// WithProbe attaches an instrumentation probe to the run. Every emission
+// site is guarded by a nil check, so omitting this option keeps the exact
+// uninstrumented fast path. Probes observe only; attaching one never changes
+// a simulation result.
+func WithProbe(p probe.Probe) Option {
+	return func(s *Simulator) {
+		s.probe = p
+		s.driver.SetProbe(p)
+		if s.hirC != nil {
+			s.hirC.SetProbe(p, s.engine.Now)
+		}
+	}
+}
+
 // New builds a simulator. The policy must be fresh (one policy instance per
 // run).
-func New(cfg Config, tr *trace.Trace, pol policy.Policy) *Simulator {
+func New(cfg Config, tr *trace.Trace, pol policy.Policy, opts ...Option) *Simulator {
 	if cfg.SMs <= 0 || cfg.WarpsPerSM <= 0 {
 		panic(fmt.Sprintf("gpu: bad SM configuration %d×%d", cfg.SMs, cfg.WarpsPerSM))
 	}
@@ -274,6 +297,9 @@ func New(cfg Config, tr *trace.Trace, pol policy.Policy) *Simulator {
 	}
 	if cfg.MaxCycles > 0 {
 		s.engine.SetLimit(cfg.MaxCycles)
+	}
+	for _, opt := range opts {
+		opt(s)
 	}
 	return s
 }
@@ -322,6 +348,9 @@ func (s *Simulator) dispatch(sm *smState) {
 			s.stalled = append(s.stalled, sm)
 			return
 		}
+		if s.probe != nil {
+			s.probe.Emit(probe.KernelBarrier(s.engine.Now(), sm.id, s.barrierIdx, s.cursor))
+		}
 		s.barrierIdx++
 		s.barriers++
 	}
@@ -342,11 +371,17 @@ func (s *Simulator) issue(sm *smState, seq int) {
 		s.finish(sm, page, seq, s.cfg.L1TLBLatency)
 		return
 	}
+	if s.probe != nil {
+		s.probe.Emit(probe.TLBMiss(s.engine.Now(), sm.id, page, seq, 1))
+	}
 	if s.pwalk == nil {
 		if s.l2.Lookup(page) {
 			sm.l1.Fill(page)
 			s.finish(sm, page, seq, s.cfg.L1TLBLatency+s.cfg.L2TLBLatency)
 			return
+		}
+		if s.probe != nil {
+			s.probe.Emit(probe.TLBMiss(s.engine.Now(), sm.id, page, seq, 2))
 		}
 	}
 	// Page walk, with MSHR-style merging of concurrent walks.
@@ -354,6 +389,9 @@ func (s *Simulator) issue(sm *smState, seq int) {
 	if ws, ok := s.walkWaiters[page]; ok {
 		s.walkWaiters[page] = append(ws, cont)
 		s.walkMerges++
+		if s.probe != nil {
+			s.probe.Emit(probe.WalkMerge(s.engine.Now(), sm.id, page, seq))
+		}
 		return
 	}
 	s.walkWaiters[page] = []continuation{cont}
@@ -373,6 +411,9 @@ func (s *Simulator) finishWalk(page addrspace.PageID) {
 	delete(s.walkWaiters, page)
 	if s.memory.Resident(page) {
 		s.walkHits++
+		if s.probe != nil {
+			s.probe.Emit(probe.WalkHit(s.engine.Now(), conts[0].smID, page, conts[0].seq))
+		}
 		s.driver.RecordWalkHit(page, conts[0].seq)
 		s.fillAndWake(page, conts)
 		return
@@ -495,10 +536,14 @@ func (s *Simulator) Run() Result {
 		st := s.dramC.Stats()
 		res.DRAM = &st
 	}
+	if m := probe.FindMetrics(s.probe); m != nil {
+		snap := m.Snapshot()
+		res.Probe = &snap
+	}
 	return res
 }
 
 // Run is the one-call convenience: build and run a simulation.
-func Run(cfg Config, tr *trace.Trace, pol policy.Policy) Result {
-	return New(cfg, tr, pol).Run()
+func Run(cfg Config, tr *trace.Trace, pol policy.Policy, opts ...Option) Result {
+	return New(cfg, tr, pol, opts...).Run()
 }

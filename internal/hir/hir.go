@@ -16,6 +16,8 @@ import (
 	"fmt"
 
 	"hpe/internal/addrspace"
+	"hpe/internal/probe"
+	"hpe/internal/sim"
 )
 
 // Config sizes the HIR cache.
@@ -61,6 +63,11 @@ type Cache struct {
 	// last drain — the paper's order vector.
 	touchOrder []int
 
+	// Instrumentation (nil unless SetProbe was called): the cache has no
+	// clock of its own, so the simulator also supplies its time source.
+	probe probe.Probe
+	now   func() sim.Cycle
+
 	// Stats.
 	hitsRecorded  uint64
 	conflicts     uint64 // hits dropped because the row was full
@@ -90,6 +97,13 @@ func New(cfg Config) *Cache {
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// SetProbe attaches an instrumentation probe with its time source (the
+// simulation engine's clock). Passing a nil probe detaches.
+func (c *Cache) SetProbe(p probe.Probe, now func() sim.Cycle) {
+	c.probe = p
+	c.now = now
+}
+
 // RecordHit records a page-walk hit for page p. On a way conflict (the row
 // is full of other tags) the hit is dropped and counted — the paper's
 // "some pages' information may be lost".
@@ -114,6 +128,9 @@ func (c *Cache) RecordHit(p addrspace.PageID) {
 	}
 	if free < 0 {
 		c.conflicts++
+		if c.probe != nil {
+			c.probe.Emit(probe.HIRConflict(c.now(), p))
+		}
 		return
 	}
 	e := &c.entries[free]

@@ -31,6 +31,10 @@ func NewRandomFactory(seed int64) Factory {
 // Name implements Policy.
 func (r *Random) Name() string { return "Random" }
 
+// Reseed implements Reseedable: it replaces the RNG with a fresh one seeded
+// from seed, so a run option can override the construction-time seed.
+func (r *Random) Reseed(seed int64) { r.rng = rand.New(rand.NewSource(seed)) }
+
 // OnWalkHit implements Policy: random ignores reference history.
 func (r *Random) OnWalkHit(p addrspace.PageID, seq int) {}
 

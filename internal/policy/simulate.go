@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"hpe/internal/addrspace"
+	"hpe/internal/probe"
+	"hpe/internal/sim"
 	"hpe/internal/trace"
 )
 
@@ -39,6 +41,14 @@ func (r ReplayResult) String() string {
 // policy (the paper's "ideal model" feed). The sequence number passed to the
 // policy is the trace position.
 func Replay(tr *trace.Trace, p Policy, capacityPages int) ReplayResult {
+	return ReplayProbed(tr, p, capacityPages, nil)
+}
+
+// ReplayProbed is Replay with an optional instrumentation probe. Replay is
+// timing-free, so events carry the trace position as their cycle (At =
+// sim.Cycle(seq)): inter-arrival histograms then measure reference distance
+// rather than simulated time. A nil probe keeps the exact Replay fast path.
+func ReplayProbed(tr *trace.Trace, p Policy, capacityPages int, pr probe.Probe) ReplayResult {
 	if capacityPages <= 0 {
 		panic(fmt.Sprintf("policy: Replay capacity %d must be positive", capacityPages))
 	}
@@ -48,10 +58,16 @@ func Replay(tr *trace.Trace, p Policy, capacityPages int) ReplayResult {
 		if _, ok := resident[page]; ok {
 			res.Hits++
 			p.OnWalkHit(page, seq)
+			if pr != nil {
+				pr.Emit(probe.WalkHit(sim.Cycle(seq), 0, page, seq))
+			}
 			continue
 		}
 		res.Faults++
 		p.OnFault(page, seq)
+		if pr != nil {
+			pr.Emit(probe.FaultBegin(sim.Cycle(seq), page, seq, 0))
+		}
 		if len(resident) >= capacityPages {
 			victim := p.SelectVictim()
 			if _, ok := resident[victim]; !ok {
@@ -60,9 +76,15 @@ func Replay(tr *trace.Trace, p Policy, capacityPages int) ReplayResult {
 			delete(resident, victim)
 			p.OnEvicted(victim)
 			res.Evictions++
+			if pr != nil {
+				pr.Emit(probe.Eviction(sim.Cycle(seq), victim, page))
+			}
 		}
 		resident[page] = struct{}{}
 		p.OnMapped(page, seq)
+		if pr != nil {
+			pr.Emit(probe.FaultEnd(sim.Cycle(seq), page, seq, 0, false))
+		}
 	}
 	return res
 }

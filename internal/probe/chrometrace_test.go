@@ -1,0 +1,234 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpe/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace fixtures")
+
+// syntheticEvents is a fixed event sequence exercising every kind once
+// (twice for the fault pair), in simulated-time order.
+func syntheticEvents() []Event {
+	return []Event{
+		TLBMiss(10, 0, 4, 0, 1),
+		TLBMiss(20, 0, 4, 0, 2),
+		FaultBegin(30, 4, 0, 0),
+		Coalesce(40, 4, 1),
+		FaultBegin(50, 5, 2, 1),
+		KernelBarrier(60, 1, 0, 2),
+		Eviction(70, 9, 4),
+		FaultEnd(80, 4, 0, 50, false),
+		Prefetch(80, 6, 0),
+		FaultEnd(90, 5, 2, 40, true),
+		WalkHit(100, 1, 4, 3),
+		WalkMerge(110, 0, 4, 4),
+		HIRConflict(120, 7),
+		HIRDrain(130, 3, 192, 24),
+	}
+}
+
+func renderTrace(t *testing.T, cfg ChromeTraceConfig, events []Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	c := NewChromeTrace(&buf, cfg)
+	for _, ev := range events {
+		c.Emit(ev)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// traceDoc mirrors the Chrome trace_event JSON Object Format.
+type traceDoc struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	Pid  int                        `json:"pid"`
+	Tid  int                        `json:"tid"`
+	Ts   float64                    `json:"ts"`
+	Dur  float64                    `json:"dur"`
+	Cat  string                     `json:"cat"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+// checkTrace validates the invariants the acceptance criteria name: the
+// document parses, has events, and timestamps are non-decreasing per lane.
+func checkTrace(t *testing.T, raw []byte) traceDoc {
+	t.Helper()
+	var doc traceDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	lastTs := map[int]float64{}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if prev, ok := lastTs[ev.Tid]; ok && ev.Ts < prev {
+			t.Fatalf("event %d (%s): ts %.4f precedes %.4f on lane %d", i, ev.Name, ev.Ts, prev, ev.Tid)
+		}
+		lastTs[ev.Tid] = ev.Ts
+	}
+	return doc
+}
+
+// TestChromeTraceGolden locks the exact serialisation against a committed
+// fixture; regenerate deliberately with `go test ./internal/probe -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	raw := renderTrace(t, ChromeTraceConfig{CoreMHz: 1000, SMs: 2, Process: "golden"}, syntheticEvents())
+	golden := filepath.Join("testdata", "golden.trace.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("trace differs from golden fixture (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", raw, want)
+	}
+	checkTrace(t, raw)
+}
+
+func TestChromeTraceContent(t *testing.T) {
+	raw := renderTrace(t, ChromeTraceConfig{CoreMHz: 1000, SMs: 2, Process: "p"}, syntheticEvents())
+	doc := checkTrace(t, raw)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byName := map[string][]traceEvent{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name] = append(byName[ev.Name], ev)
+	}
+	// Lane metadata: 2 SM lanes + driver lane + process name.
+	if n := len(byName["thread_name"]); n != 3 {
+		t.Fatalf("thread_name events = %d, want 3", n)
+	}
+	if n := len(byName["process_name"]); n != 1 {
+		t.Fatalf("process_name events = %d", n)
+	}
+	// Faults are async begin/end pairs on the driver lane (tid = SMs = 2).
+	faults := byName["fault"]
+	if len(faults) != 4 {
+		t.Fatalf("fault events = %d, want 4 (2 b + 2 e)", len(faults))
+	}
+	phases := map[string]int{}
+	for _, f := range faults {
+		phases[f.Ph]++
+		if f.Tid != 2 {
+			t.Fatalf("fault on lane %d, want driver lane 2", f.Tid)
+		}
+	}
+	if phases["b"] != 2 || phases["e"] != 2 {
+		t.Fatalf("fault phases = %v", phases)
+	}
+	// The HIR drain is a complete event with a duration (24 cycles @1000MHz
+	// = 0.024us).
+	drains := byName["hir_drain"]
+	if len(drains) != 1 || drains[0].Ph != "X" || drains[0].Dur != 0.024 {
+		t.Fatalf("hir_drain = %+v", drains)
+	}
+	// SM-attributed events land on their SM's lane.
+	if evs := byName["walk_hit"]; len(evs) != 1 || evs[0].Tid != 1 {
+		t.Fatalf("walk_hit = %+v", evs)
+	}
+	// ts scaling: first TLB miss at cycle 10 @1000MHz = 0.01us.
+	if evs := byName["tlb_miss"]; len(evs) != 2 || evs[0].Ts != 0.01 {
+		t.Fatalf("tlb_miss = %+v", evs)
+	}
+	// Every emitted kind made it into the document.
+	for _, name := range []string{"fault", "evict", "coalesce", "walk_hit", "walk_merge",
+		"hir_drain", "hir_conflict", "kernel_barrier", "tlb_miss", "prefetch"} {
+		if len(byName[name]) == 0 {
+			t.Errorf("kind %s missing from trace", name)
+		}
+	}
+}
+
+func TestChromeTraceDefaults(t *testing.T) {
+	raw := renderTrace(t, ChromeTraceConfig{}, nil)
+	doc := checkTrace(t, raw)
+	// 15 SM lanes + driver.
+	lanes := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "thread_name" {
+			lanes++
+		}
+	}
+	if lanes != 16 {
+		t.Fatalf("default lanes = %d, want 16", lanes)
+	}
+}
+
+func TestChromeTraceFlushIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChromeTrace(&buf, ChromeTraceConfig{SMs: 1})
+	c.Emit(FaultBegin(1, 1, 0, 0))
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := buf.Len()
+	if err := c.Flush(); err != nil || buf.Len() != n {
+		t.Fatal("second Flush wrote more output")
+	}
+	// Emissions after Flush are dropped.
+	c.Emit(FaultEnd(2, 1, 0, 1, false))
+	if err := c.Flush(); err != nil || buf.Len() != n {
+		t.Fatal("post-flush emission leaked output")
+	}
+}
+
+// failWriter errors after limit bytes.
+type failWriter struct {
+	n, limit int
+	closed   bool
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, errors.New("disk full")
+	}
+	w.n += len(p)
+	return len(p), nil
+}
+
+func (w *failWriter) Close() error { w.closed = true; return nil }
+
+func TestChromeTraceWriteError(t *testing.T) {
+	w := &failWriter{limit: 64}
+	c := NewChromeTrace(w, ChromeTraceConfig{SMs: 1, CloseOnFlush: true})
+	for i := 0; i < 10000; i++ {
+		c.Emit(FaultBegin(sim.Cycle(i), 1, i, 0))
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("write error not surfaced by Flush")
+	}
+	if c.Err() == nil {
+		t.Fatal("Err() should report the failure")
+	}
+	if !w.closed {
+		t.Fatal("CloseOnFlush skipped on error path")
+	}
+}

@@ -1,0 +1,123 @@
+package probe
+
+import (
+	"fmt"
+	"strings"
+
+	"hpe/internal/sim"
+	"hpe/internal/stats"
+)
+
+// Metrics aggregates the event stream into per-kind counters, inter-arrival
+// histograms (gap between consecutive events of the same kind, in cycles)
+// and — for kinds that carry a duration — latency histograms. It allocates
+// nothing per event and its Flush is a no-op, so one Metrics instance can be
+// reused across runs to aggregate (histograms keep accumulating).
+type Metrics struct {
+	events uint64
+	counts [numKinds]uint64
+	seen   [numKinds]bool
+	last   [numKinds]sim.Cycle
+	inter  [numKinds]stats.Histogram
+	lat    [numKinds]stats.Histogram
+}
+
+// NewMetrics returns an empty metrics probe.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Emit implements Probe.
+func (m *Metrics) Emit(ev Event) {
+	k := ev.Kind
+	if int(k) >= int(numKinds) {
+		return
+	}
+	m.events++
+	m.counts[k]++
+	if m.seen[k] {
+		m.inter[k].Observe(uint64(ev.At - m.last[k]))
+	}
+	m.seen[k] = true
+	m.last[k] = ev.At
+	switch k {
+	case KindFaultEnd:
+		m.lat[k].Observe(ev.A) // enqueue-to-completion latency
+	case KindHIRDrain:
+		m.lat[k].Observe(ev.C) // PCIe transfer cycles
+	}
+}
+
+// Flush implements Probe (no buffered state).
+func (m *Metrics) Flush() error { return nil }
+
+// KindSnapshot summarises one event kind.
+type KindSnapshot struct {
+	// Kind is the event-kind name ("fault_end", "eviction", ...).
+	Kind string
+	// Count is the number of events observed.
+	Count uint64
+	// InterArrival summarises the cycle gap between consecutive events of
+	// this kind (empty until the second event).
+	InterArrival stats.HistogramSnapshot
+	// Latency summarises per-event durations for kinds that carry one
+	// (fault_end: enqueue-to-completion; hir_drain: PCIe transfer cycles).
+	// Zero-valued for other kinds.
+	Latency stats.HistogramSnapshot
+}
+
+// Snapshot is an immutable summary of a Metrics probe, surfaced by the
+// simulator as gpu.Result.Probe.
+type Snapshot struct {
+	// Events is the total event count across all kinds.
+	Events uint64
+	// Kinds holds the kinds observed at least once, in Kind order.
+	Kinds []KindSnapshot
+}
+
+// Snapshot summarises the metrics accumulated so far.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Events: m.events}
+	for k := Kind(0); k < numKinds; k++ {
+		if m.counts[k] == 0 {
+			continue
+		}
+		s.Kinds = append(s.Kinds, KindSnapshot{
+			Kind:         k.String(),
+			Count:        m.counts[k],
+			InterArrival: m.inter[k].Snapshot(),
+			Latency:      m.lat[k].Snapshot(),
+		})
+	}
+	return s
+}
+
+// ByKind returns the snapshot of the named kind, if observed.
+func (s Snapshot) ByKind(name string) (KindSnapshot, bool) {
+	for _, k := range s.Kinds {
+		if k.Kind == name {
+			return k, true
+		}
+	}
+	return KindSnapshot{}, false
+}
+
+// Count returns the event count of the named kind (0 if never observed).
+func (s Snapshot) Count(name string) uint64 {
+	k, _ := s.ByKind(name)
+	return k.Count
+}
+
+// String renders a compact multi-line summary: one line per observed kind.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events", s.Events)
+	for _, k := range s.Kinds {
+		fmt.Fprintf(&b, "\n  %-14s n=%-8d", k.Kind, k.Count)
+		if k.InterArrival.Count > 0 {
+			fmt.Fprintf(&b, " interarrival[p50=%d p99=%d]", k.InterArrival.P50, k.InterArrival.P99)
+		}
+		if k.Latency.Count > 0 {
+			fmt.Fprintf(&b, " latency[p50=%d p99=%d max=%d]", k.Latency.P50, k.Latency.P99, k.Latency.Max)
+		}
+	}
+	return b.String()
+}

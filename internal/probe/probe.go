@@ -1,0 +1,228 @@
+// Package probe is the simulator's instrumentation layer: a typed event
+// stream tapped at exactly the points where the simulator increments its
+// counters today — fault begin/end, eviction, fault coalescing, walk hits
+// and walker-MSHR merges, HIR drains and way conflicts, kernel barriers,
+// TLB misses, and block prefetches.
+//
+// A Probe receives every event by value (no allocation per event) together
+// with the simulated cycle at which it occurred. Two production probes ship
+// with the package: Metrics (per-event-kind latency and inter-arrival
+// histograms, surfaced as gpu.Result.Probe) and ChromeTrace (streaming
+// Chrome trace_event JSON, loadable in chrome://tracing or Perfetto).
+//
+// Overhead contract: a nil probe must cost nothing. Every emission site in
+// internal/gpu, internal/uvm and internal/hir is guarded by a single
+// `probe != nil` branch, so an unprobed simulation performs no interface
+// calls and no allocations on the hot path (BenchmarkNilProbe guards this).
+// Probes observe; they must never mutate simulation state, so attaching one
+// cannot change any simulation result.
+package probe
+
+import (
+	"hpe/internal/addrspace"
+	"hpe/internal/sim"
+)
+
+// Kind enumerates the event taxonomy.
+type Kind uint8
+
+const (
+	// KindFaultBegin: a far-fault was enqueued at the UVM driver.
+	// A = queue depth (faults waiting, excluding those in service).
+	KindFaultBegin Kind = iota
+	// KindFaultEnd: a far-fault completed and the page is mapped.
+	// A = total latency in cycles (enqueue to completion), B = 1 when the
+	// fault was satisfied early by a block migration (fault batching).
+	KindFaultEnd
+	// KindEviction: a resident page was evicted. Page = victim,
+	// A = the faulting page whose service triggered the eviction.
+	KindEviction
+	// KindCoalesce: a fault request merged onto an in-flight fault.
+	KindCoalesce
+	// KindWalkHit: a page-table walk resolved to a resident page.
+	KindWalkHit
+	// KindWalkMerge: an access joined an already in-flight walk for the
+	// same page (walker MSHR hit).
+	KindWalkMerge
+	// KindHIRDrain: the HIR cache drained to the driver over PCIe.
+	// A = entries drained, B = payload bytes, C = transfer cycles.
+	KindHIRDrain
+	// KindHIRConflict: a page-walk hit was dropped because its HIR row was
+	// full (the paper's "some pages' information may be lost").
+	KindHIRConflict
+	// KindKernelBarrier: a kernel boundary was crossed. A = barrier index.
+	KindKernelBarrier
+	// KindTLBMiss: a translation missed a TLB level. A = level (1 or 2).
+	KindTLBMiss
+	// KindPrefetch: a non-resident page was migrated speculatively
+	// alongside a fault (UVM block prefetching).
+	KindPrefetch
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"fault_begin", "fault_end", "eviction", "coalesce", "walk_hit",
+	"walk_merge", "hir_drain", "hir_conflict", "kernel_barrier",
+	"tlb_miss", "prefetch",
+}
+
+// String names the kind as it appears in metrics snapshots and traces.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindNames lists every event-kind name in Kind order.
+func KindNames() []string {
+	out := make([]string, numKinds)
+	copy(out, kindNames[:])
+	return out
+}
+
+// DriverLane is the SM value of events raised by the host-side driver (or
+// any component with no SM attribution).
+const DriverLane int32 = -1
+
+// Event is one instrumentation event, passed by value. At is the simulated
+// cycle; SM is the raising SM's id or DriverLane; Page and Seq identify the
+// page and canonical trace position where meaningful. A, B and C carry
+// kind-specific payloads documented on the Kind constants.
+type Event struct {
+	Kind    Kind
+	At      sim.Cycle
+	SM      int32
+	Page    addrspace.PageID
+	Seq     int64
+	A, B, C uint64
+}
+
+// Probe consumes the event stream of one simulation run. Emit is called
+// from the simulator's single-threaded event loop in simulated-time order
+// (At is non-decreasing); implementations need no locking against the run
+// itself. Flush finalises any buffered output (closing a streamed trace);
+// it must be idempotent. Probes must not mutate simulation state.
+type Probe interface {
+	Emit(ev Event)
+	Flush() error
+}
+
+// Event constructors — one per kind, so emission sites stay single-line.
+
+// FaultBegin builds a KindFaultBegin event.
+func FaultBegin(at sim.Cycle, page addrspace.PageID, seq int, queueDepth int) Event {
+	return Event{Kind: KindFaultBegin, At: at, SM: DriverLane, Page: page, Seq: int64(seq), A: uint64(queueDepth)}
+}
+
+// FaultEnd builds a KindFaultEnd event.
+func FaultEnd(at sim.Cycle, page addrspace.PageID, seq int, latency sim.Cycle, batched bool) Event {
+	ev := Event{Kind: KindFaultEnd, At: at, SM: DriverLane, Page: page, Seq: int64(seq), A: uint64(latency)}
+	if batched {
+		ev.B = 1
+	}
+	return ev
+}
+
+// Eviction builds a KindEviction event.
+func Eviction(at sim.Cycle, victim, trigger addrspace.PageID) Event {
+	return Event{Kind: KindEviction, At: at, SM: DriverLane, Page: victim, A: uint64(trigger)}
+}
+
+// Coalesce builds a KindCoalesce event.
+func Coalesce(at sim.Cycle, page addrspace.PageID, seq int) Event {
+	return Event{Kind: KindCoalesce, At: at, SM: DriverLane, Page: page, Seq: int64(seq)}
+}
+
+// WalkHit builds a KindWalkHit event.
+func WalkHit(at sim.Cycle, sm int, page addrspace.PageID, seq int) Event {
+	return Event{Kind: KindWalkHit, At: at, SM: int32(sm), Page: page, Seq: int64(seq)}
+}
+
+// WalkMerge builds a KindWalkMerge event.
+func WalkMerge(at sim.Cycle, sm int, page addrspace.PageID, seq int) Event {
+	return Event{Kind: KindWalkMerge, At: at, SM: int32(sm), Page: page, Seq: int64(seq)}
+}
+
+// HIRDrain builds a KindHIRDrain event.
+func HIRDrain(at sim.Cycle, entries, bytes int, transfer sim.Cycle) Event {
+	return Event{Kind: KindHIRDrain, At: at, SM: DriverLane, A: uint64(entries), B: uint64(bytes), C: uint64(transfer)}
+}
+
+// HIRConflict builds a KindHIRConflict event.
+func HIRConflict(at sim.Cycle, page addrspace.PageID) Event {
+	return Event{Kind: KindHIRConflict, At: at, SM: DriverLane, Page: page}
+}
+
+// KernelBarrier builds a KindKernelBarrier event.
+func KernelBarrier(at sim.Cycle, sm int, index, seq int) Event {
+	return Event{Kind: KindKernelBarrier, At: at, SM: int32(sm), Seq: int64(seq), A: uint64(index)}
+}
+
+// TLBMiss builds a KindTLBMiss event.
+func TLBMiss(at sim.Cycle, sm int, page addrspace.PageID, seq int, level int) Event {
+	return Event{Kind: KindTLBMiss, At: at, SM: int32(sm), Page: page, Seq: int64(seq), A: uint64(level)}
+}
+
+// Prefetch builds a KindPrefetch event.
+func Prefetch(at sim.Cycle, page addrspace.PageID, seq int) Event {
+	return Event{Kind: KindPrefetch, At: at, SM: DriverLane, Page: page, Seq: int64(seq)}
+}
+
+// multi fans events out to several probes in order.
+type multi []Probe
+
+// Multi combines probes into one. Nil members are dropped; Multi returns
+// nil for an empty set and the probe itself for a single survivor, so the
+// result composes with the simulator's `probe != nil` fast-path guard.
+func Multi(ps ...Probe) Probe {
+	out := make(multi, 0, len(ps))
+	for _, p := range ps {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+// Emit implements Probe.
+func (m multi) Emit(ev Event) {
+	for _, p := range m {
+		p.Emit(ev)
+	}
+}
+
+// Flush implements Probe, returning the first error.
+func (m multi) Flush() error {
+	var first error
+	for _, p := range m {
+		if err := p.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// FindMetrics unwraps p (through Multi composition) to the first *Metrics
+// probe, or nil. The simulator uses it to surface the metrics snapshot on
+// gpu.Result without knowing how the caller composed its probes.
+func FindMetrics(p Probe) *Metrics {
+	switch v := p.(type) {
+	case *Metrics:
+		return v
+	case multi:
+		for _, sub := range v {
+			if m := FindMetrics(sub); m != nil {
+				return m
+			}
+		}
+	}
+	return nil
+}

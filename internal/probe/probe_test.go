@@ -1,0 +1,165 @@
+package probe
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hpe/internal/sim"
+)
+
+// recorder keeps every event it receives.
+type recorder struct {
+	events  []Event
+	flushes int
+	err     error
+}
+
+func (r *recorder) Emit(ev Event) { r.events = append(r.events, ev) }
+func (r *recorder) Flush() error  { r.flushes++; return r.err }
+
+func TestKindNames(t *testing.T) {
+	names := KindNames()
+	if len(names) != int(numKinds) {
+		t.Fatalf("KindNames has %d entries, want %d", len(names), numKinds)
+	}
+	seen := map[string]bool{}
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" || seen[name] {
+			t.Fatalf("kind %d name %q invalid or duplicated", k, name)
+		}
+		seen[name] = true
+		if names[k] != name {
+			t.Fatalf("KindNames[%d] = %q, want %q", k, names[k], name)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind should render unknown")
+	}
+	// KindNames returns a copy, not the backing array.
+	names[0] = "mutated"
+	if KindNames()[0] == "mutated" {
+		t.Fatal("KindNames aliases internal state")
+	}
+}
+
+func TestMultiComposition(t *testing.T) {
+	if Multi() != nil || Multi(nil, nil) != nil {
+		t.Fatal("empty Multi should be nil (preserving the fast-path guard)")
+	}
+	r := &recorder{}
+	if got := Multi(nil, r, nil); got != Probe(r) {
+		t.Fatal("single-survivor Multi should return the probe itself")
+	}
+	a, b := &recorder{}, &recorder{}
+	m := Multi(a, nil, b)
+	ev := FaultBegin(10, 3, 7, 2)
+	m.Emit(ev)
+	if len(a.events) != 1 || len(b.events) != 1 || a.events[0] != ev {
+		t.Fatal("Multi did not fan out")
+	}
+	if err := m.Flush(); err != nil || a.flushes != 1 || b.flushes != 1 {
+		t.Fatal("Multi did not flush members")
+	}
+	// First flush error wins, but every member still gets flushed.
+	a.err = errors.New("a failed")
+	b.err = errors.New("b failed")
+	if err := m.Flush(); err == nil || err.Error() != "a failed" || b.flushes != 2 {
+		t.Fatalf("Multi flush error = %v", err)
+	}
+}
+
+func TestFindMetrics(t *testing.T) {
+	if FindMetrics(nil) != nil {
+		t.Fatal("FindMetrics(nil)")
+	}
+	m := NewMetrics()
+	if FindMetrics(m) != m {
+		t.Fatal("FindMetrics(direct)")
+	}
+	if FindMetrics(&recorder{}) != nil {
+		t.Fatal("FindMetrics on a non-metrics probe")
+	}
+	wrapped := Multi(&recorder{}, Multi(&recorder{}, m))
+	if FindMetrics(wrapped) != m {
+		t.Fatal("FindMetrics through nested Multi")
+	}
+}
+
+func TestEventConstructors(t *testing.T) {
+	if ev := FaultEnd(100, 5, 2, 40, true); ev.Kind != KindFaultEnd ||
+		ev.At != 100 || ev.Page != 5 || ev.Seq != 2 || ev.A != 40 || ev.B != 1 {
+		t.Fatalf("FaultEnd = %+v", ev)
+	}
+	if ev := FaultEnd(100, 5, 2, 40, false); ev.B != 0 {
+		t.Fatal("unbatched FaultEnd should carry B=0")
+	}
+	if ev := Eviction(7, 9, 11); ev.Page != 9 || ev.A != 11 || ev.SM != DriverLane {
+		t.Fatalf("Eviction = %+v", ev)
+	}
+	if ev := WalkHit(1, 3, 4, 5); ev.SM != 3 || ev.Page != 4 || ev.Seq != 5 {
+		t.Fatalf("WalkHit = %+v", ev)
+	}
+	if ev := HIRDrain(9, 6, 384, 120); ev.A != 6 || ev.B != 384 || ev.C != 120 {
+		t.Fatalf("HIRDrain = %+v", ev)
+	}
+	if ev := TLBMiss(2, 1, 8, 3, 2); ev.A != 2 || ev.SM != 1 {
+		t.Fatalf("TLBMiss = %+v", ev)
+	}
+}
+
+func TestMetricsCountsAndLatency(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(FaultBegin(10, 1, 0, 0))
+	m.Emit(FaultBegin(30, 2, 1, 1))
+	m.Emit(FaultEnd(40, 1, 0, 30, false))
+	m.Emit(FaultEnd(70, 2, 1, 40, true))
+	m.Emit(HIRDrain(100, 4, 256, 64))
+	s := m.Snapshot()
+	if s.Events != 5 {
+		t.Fatalf("events = %d", s.Events)
+	}
+	if s.Count("fault_begin") != 2 || s.Count("fault_end") != 2 || s.Count("hir_drain") != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.Count("eviction") != 0 {
+		t.Fatal("unobserved kind should count 0")
+	}
+	fb, ok := s.ByKind("fault_begin")
+	if !ok || fb.InterArrival.Count != 1 || fb.InterArrival.Max != 20 {
+		t.Fatalf("fault_begin inter-arrival = %+v", fb.InterArrival)
+	}
+	fe, _ := s.ByKind("fault_end")
+	if fe.Latency.Count != 2 || fe.Latency.Min != 30 || fe.Latency.Max != 40 {
+		t.Fatalf("fault_end latency = %+v", fe.Latency)
+	}
+	hd, _ := s.ByKind("hir_drain")
+	if hd.Latency.Count != 1 || hd.Latency.Max != 64 {
+		t.Fatalf("hir_drain latency = %+v", hd.Latency)
+	}
+	// Kinds appear in taxonomy order.
+	if s.Kinds[0].Kind != "fault_begin" || s.Kinds[1].Kind != "fault_end" {
+		t.Fatalf("kind order: %v, %v", s.Kinds[0].Kind, s.Kinds[1].Kind)
+	}
+	if m.Flush() != nil {
+		t.Fatal("Metrics.Flush should be nil")
+	}
+	// Out-of-range kinds are ignored, not counted.
+	m.Emit(Event{Kind: Kind(250), At: sim.Cycle(1)})
+	if m.Snapshot().Events != 5 {
+		t.Fatal("out-of-range kind was counted")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := NewMetrics()
+	m.Emit(FaultEnd(10, 1, 0, 30, false))
+	m.Emit(FaultEnd(40, 2, 1, 50, false))
+	out := m.Snapshot().String()
+	for _, frag := range []string{"2 events", "fault_end", "latency[", "interarrival["} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("String() = %q, missing %q", out, frag)
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package registry is the single name-keyed catalog of eviction policies.
+// Every way of naming a policy — the facade's hpe.NewPolicy, the experiment
+// suite's PolicyKind table, and the CLI tools' -policy flags — resolves here,
+// so adding a policy means adding one Register call, not editing switch
+// statements across the tree.
+//
+// Policies are constructed from a name plus functional options. Options are
+// uniform: a builder consumes the ones it understands and ignores the rest
+// (WithThrashingRRIP, for example, only matters to RRIP), which lets callers
+// pass one option set for every policy of a run matrix. Options that a
+// builder *requires* (CLOCK-Pro and ARC need WithCapacity; Ideal needs
+// WithTrace or WithFutureIndex) produce an error when missing.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/hpe"
+	"hpe/internal/policy"
+	"hpe/internal/trace"
+)
+
+// Options is the merged option set a builder sees. Builders read the fields
+// they understand and ignore the rest.
+type Options struct {
+	// Seed feeds randomised policies (Random). Default 1.
+	Seed int64
+	// Capacity is the device-memory capacity in pages, required by the
+	// capacity-aware policies (CLOCK-Pro, ARC).
+	Capacity int
+	// Trace supplies the reference string for offline policies (Ideal).
+	Trace *trace.Trace
+	// Future lazily supplies a prebuilt Belady future index; when set it
+	// takes precedence over Trace. The callback runs only if the policy
+	// being built actually needs the index, so callers can pass it
+	// unconditionally without paying for the build.
+	Future func() *trace.FutureIndex
+	// RRIP overrides the RRIP configuration entirely.
+	RRIP *policy.RRIPConfig
+	// ThrashingRRIP selects the paper's Type-II RRIP setup (distant
+	// insertion, delay threshold 128) when no explicit RRIP config is given.
+	ThrashingRRIP bool
+	// HPE overrides the HPE configuration.
+	HPE *hpe.Config
+}
+
+// Option customises policy construction.
+type Option func(*Options)
+
+// WithSeed seeds randomised policies.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithCapacity supplies the device-memory capacity in pages.
+func WithCapacity(pages int) Option { return func(o *Options) { o.Capacity = pages } }
+
+// WithTrace supplies the reference string offline policies replay.
+func WithTrace(tr *trace.Trace) Option { return func(o *Options) { o.Trace = tr } }
+
+// WithFutureIndex lazily supplies a Belady future index; fn is only invoked
+// if the policy needs it.
+func WithFutureIndex(fn func() *trace.FutureIndex) Option {
+	return func(o *Options) { o.Future = fn }
+}
+
+// WithRRIPConfig pins the RRIP configuration.
+func WithRRIPConfig(cfg policy.RRIPConfig) Option {
+	return func(o *Options) { c := cfg; o.RRIP = &c }
+}
+
+// WithThrashingRRIP selects the Type-II RRIP setup; ignored by every other
+// policy, so it can be applied uniformly across a run matrix.
+func WithThrashingRRIP() Option { return func(o *Options) { o.ThrashingRRIP = true } }
+
+// WithHPEConfig pins the HPE configuration.
+func WithHPEConfig(cfg hpe.Config) Option {
+	return func(o *Options) { c := cfg; o.HPE = &c }
+}
+
+// Info describes a registered policy.
+type Info struct {
+	// Name is the canonical registry key ("clockpro").
+	Name string
+	// Display is the paper's rendering ("CLOCK-Pro"), used in reports.
+	Display string
+	// Description is a one-line summary for listings.
+	Description string
+	// Aliases are additional accepted names ("clock-pro").
+	Aliases []string
+	// NeedsCapacity, NeedsTrace: the policy errors without that option.
+	NeedsCapacity bool
+	NeedsTrace    bool
+	// NeedsHIR: the policy is driven by the HIR cache, so simulations must
+	// attach one (gpu.Config.UseHIR).
+	NeedsHIR bool
+}
+
+type entry struct {
+	info  Info
+	build func(Options) (policy.Policy, error)
+}
+
+// entries is in paper presentation order (Fig. 12 comparison set first, then
+// the extra reference points); byName adds canonical names and aliases,
+// lowercased.
+var entries []entry
+var byName = map[string]*entry{}
+
+func register(info Info, build func(Options) (policy.Policy, error)) {
+	entries = append(entries, entry{info: info, build: build})
+	e := &entries[len(entries)-1]
+	for _, n := range append([]string{info.Name}, info.Aliases...) {
+		key := strings.ToLower(n)
+		if _, dup := byName[key]; dup {
+			panic("registry: duplicate policy name " + key)
+		}
+		byName[key] = e
+	}
+}
+
+func lookup(name string) (*entry, error) {
+	e, ok := byName[strings.ToLower(strings.TrimSpace(name))]
+	if !ok {
+		return nil, fmt.Errorf("registry: unknown policy %q (known: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e, nil
+}
+
+// New builds a fresh policy instance by name (case-insensitive; aliases
+// accepted). It errors on an unknown name or a missing required option.
+func New(name string, opts ...Option) (policy.Policy, error) {
+	e, err := lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	o := Options{Seed: 1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if e.info.NeedsCapacity && o.Capacity <= 0 {
+		return nil, fmt.Errorf("registry: policy %q requires WithCapacity", e.info.Name)
+	}
+	if e.info.NeedsTrace && o.Trace == nil && o.Future == nil {
+		return nil, fmt.Errorf("registry: policy %q requires WithTrace or WithFutureIndex", e.info.Name)
+	}
+	return e.build(o)
+}
+
+// Names lists the canonical policy names in registration (paper) order.
+func Names() []string {
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.info.Name
+	}
+	return out
+}
+
+// Lookup returns the Info for a name (canonical or alias).
+func Lookup(name string) (Info, bool) {
+	e, err := lookup(name)
+	if err != nil {
+		return Info{}, false
+	}
+	return e.info, true
+}
+
+// DisplayName returns the paper's rendering of the named policy ("clockpro"
+// → "CLOCK-Pro"); unknown names render as themselves.
+func DisplayName(name string) string {
+	if info, ok := Lookup(name); ok {
+		return info.Display
+	}
+	return name
+}
+
+// NeedsHIR reports whether the named policy requires the HIR cache.
+func NeedsHIR(name string) bool {
+	info, ok := Lookup(name)
+	return ok && info.NeedsHIR
+}
+
+// Infos returns every registered policy's Info in registration order.
+func Infos() []Info {
+	out := make([]Info, len(entries))
+	for i, e := range entries {
+		out[i] = e.info
+	}
+	return out
+}
+
+// AllNames returns canonical names plus aliases, sorted — the full accepted
+// vocabulary (for shell completion and tests).
+func AllNames() []string {
+	out := make([]string, 0, len(byName))
+	for n := range byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	register(Info{
+		Name: "lru", Display: "LRU",
+		Description: "page-level least-recently-used under the ideal feed",
+	}, func(o Options) (policy.Policy, error) { return policy.NewLRU(), nil })
+
+	register(Info{
+		Name: "random", Display: "Random",
+		Description: "uniformly random resident page (deterministic seed)",
+	}, func(o Options) (policy.Policy, error) { return policy.NewRandom(o.Seed), nil })
+
+	register(Info{
+		Name: "rrip", Display: "RRIP",
+		Description: "the paper's enhanced RRIP-FP (delay field; Type-II preset via WithThrashingRRIP)",
+	}, func(o Options) (policy.Policy, error) {
+		cfg := policy.DefaultRRIPConfig()
+		if o.ThrashingRRIP {
+			cfg = policy.ThrashingRRIPConfig()
+		}
+		if o.RRIP != nil {
+			cfg = *o.RRIP
+		}
+		return policy.NewRRIP(cfg), nil
+	})
+
+	register(Info{
+		Name: "clockpro", Display: "CLOCK-Pro", Aliases: []string{"clock-pro"},
+		Description:   "CLOCK-Pro with the paper's fixed cold target m_c = 128",
+		NeedsCapacity: true,
+	}, func(o Options) (policy.Policy, error) {
+		return policy.NewClockPro(o.Capacity, policy.DefaultColdTarget), nil
+	})
+
+	register(Info{
+		Name: "ideal", Display: "Ideal", Aliases: []string{"belady", "min"},
+		Description: "offline Belady-MIN upper bound (needs the trace)",
+		NeedsTrace:  true,
+	}, func(o Options) (policy.Policy, error) {
+		if o.Future != nil {
+			return policy.NewIdeal(o.Future()), nil
+		}
+		return policy.NewIdeal(trace.BuildFutureIndex(o.Trace)), nil
+	})
+
+	register(Info{
+		Name: "hpe", Display: "HPE",
+		Description: "the paper's hierarchical page eviction policy (HIR + dynamic adjustment)",
+		NeedsHIR:    true,
+	}, func(o Options) (policy.Policy, error) {
+		cfg := hpe.DefaultConfig()
+		if o.HPE != nil {
+			cfg = *o.HPE
+		}
+		return hpe.New(cfg), nil
+	})
+
+	register(Info{
+		Name: "fifo", Display: "FIFO",
+		Description: "first-in first-out reference baseline",
+	}, func(o Options) (policy.Policy, error) { return policy.NewFIFO(), nil })
+
+	register(Info{
+		Name: "lfu", Display: "LFU",
+		Description: "least-frequently-used reference baseline",
+	}, func(o Options) (policy.Policy, error) { return policy.NewLFU(), nil })
+
+	register(Info{
+		Name: "clock", Display: "CLOCK",
+		Description: "classic CLOCK second-chance (related work)",
+	}, func(o Options) (policy.Policy, error) { return policy.NewClock(), nil })
+
+	register(Info{
+		Name: "nru", Display: "NRU",
+		Description: "not-recently-used (related work)",
+	}, func(o Options) (policy.Policy, error) { return policy.NewNRU(), nil })
+
+	register(Info{
+		Name: "arc", Display: "ARC",
+		Description:   "Adaptive Replacement Cache (related work)",
+		NeedsCapacity: true,
+	}, func(o Options) (policy.Policy, error) { return policy.NewARC(o.Capacity), nil })
+
+	register(Info{
+		Name: "setlru", Display: "SetLRU", Aliases: []string{"set-lru"},
+		Description: "set-granularity LRU ablation (HPE's granularity, no classification)",
+	}, func(o Options) (policy.Policy, error) {
+		return policy.NewSetLRU(addrspace.DefaultGeometry()), nil
+	})
+}

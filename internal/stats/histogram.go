@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Histogram is a power-of-two-bucketed histogram of non-negative integer
+// samples (cycle latencies, inter-arrival gaps, batch sizes). Bucket b holds
+// samples whose bit length is b, i.e. the ranges 0, 1, [2,3], [4,7], …:
+// coarse enough to cost two array writes per observation, fine enough for
+// order-of-magnitude latency analysis. The zero value is an empty histogram
+// ready for use; Histogram is not safe for concurrent use.
+type Histogram struct {
+	buckets [65]uint64 // index = bits.Len64(sample)
+	count   uint64
+	sum     uint64
+	min     uint64
+	max     uint64
+}
+
+// Observe adds one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.buckets[bits.Len64(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// HistogramSnapshot is an immutable summary of a Histogram. Quantiles are
+// bucket-resolution upper bounds (exact to within a factor of two), clamped
+// to the observed maximum, which keeps them deterministic and cheap.
+type HistogramSnapshot struct {
+	Count    uint64
+	Min, Max uint64
+	Mean     float64
+	P50      uint64
+	P90      uint64
+	P99      uint64
+}
+
+// Snapshot summarises the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count, Min: h.min, Max: h.max}
+	if h.count == 0 {
+		return s
+	}
+	s.Mean = float64(h.sum) / float64(h.count)
+	s.P50 = h.quantile(0.50)
+	s.P90 = h.quantile(0.90)
+	s.P99 = h.quantile(0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-quantile
+// sample, clamped to the observed extremes.
+func (h *Histogram) quantile(q float64) uint64 {
+	rank := uint64(q * float64(h.count))
+	if rank >= h.count {
+		rank = h.count - 1
+	}
+	var seen uint64
+	for b, n := range h.buckets {
+		seen += n
+		if n > 0 && seen > rank {
+			upper := uint64(0)
+			if b > 0 {
+				upper = 1<<uint(b) - 1
+			}
+			if upper > h.max {
+				upper = h.max
+			}
+			if upper < h.min {
+				upper = h.min
+			}
+			return upper
+		}
+	}
+	return h.max
+}
+
+// String renders the snapshot as a compact single-line summary.
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d min=%d p50=%d p90=%d p99=%d max=%d mean=%.1f",
+		s.Count, s.Min, s.P50, s.P90, s.P99, s.Max, s.Mean)
+}

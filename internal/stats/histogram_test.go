@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(42)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 42 || s.Max != 42 || s.Mean != 42 {
+		t.Fatalf("single-sample snapshot = %+v", s)
+	}
+	// With one sample every quantile is that sample (clamped to min/max).
+	if s.P50 != 42 || s.P90 != 42 || s.P99 != 42 {
+		t.Fatalf("quantiles = %d/%d/%d, want 42", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestHistogramMinMaxMean(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{10, 0, 1000, 20} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 4 || s.Min != 0 || s.Max != 1000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if want := (10.0 + 0 + 1000 + 20) / 4; s.Mean != want {
+		t.Fatalf("mean = %v, want %v", s.Mean, want)
+	}
+}
+
+func TestHistogramQuantilesBucketResolution(t *testing.T) {
+	// 199 samples of 8 and one of 1<<20: P50/P90/P99 land in the 8-bucket
+	// (upper bound 15) since 199/200 samples are 8; max stays exact.
+	var h Histogram
+	for i := 0; i < 199; i++ {
+		h.Observe(8)
+	}
+	h.Observe(1 << 20)
+	s := h.Snapshot()
+	if s.P50 < 8 || s.P50 > 15 {
+		t.Fatalf("P50 = %d, want within [8,15]", s.P50)
+	}
+	if s.P99 < 8 || s.P99 > 15 {
+		t.Fatalf("P99 = %d, want within [8,15] (199/200 samples are 8)", s.P99)
+	}
+	if s.Max != 1<<20 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	// Quantiles never exceed the observed maximum.
+	var h2 Histogram
+	h2.Observe(5)
+	h2.Observe(6)
+	s2 := h2.Snapshot()
+	if s2.P99 > s2.Max {
+		t.Fatalf("P99 %d exceeds max %d", s2.P99, s2.Max)
+	}
+}
+
+func TestHistogramZeroSamples(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Min != 0 || s.Max != 0 || s.P50 != 0 {
+		t.Fatalf("all-zero snapshot = %+v", s)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Observe(3)
+	out := h.Snapshot().String()
+	for _, frag := range []string{"n=2", "min=1", "max=3", "p50=", "mean=2.0"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("String() = %q, missing %q", out, frag)
+		}
+	}
+}

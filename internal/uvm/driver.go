@@ -21,6 +21,7 @@ import (
 	"hpe/internal/hir"
 	"hpe/internal/mem"
 	"hpe/internal/policy"
+	"hpe/internal/probe"
 	"hpe/internal/sim"
 )
 
@@ -97,6 +98,7 @@ type Stats struct {
 type pendingFault struct {
 	page      addrspace.PageID
 	seq       int
+	enq       sim.Cycle // enqueue time, for fault-latency events
 	wakeups   []func()
 	inService bool // dispatched to a channel
 	done      bool // resolved early by a block prefetch
@@ -119,6 +121,7 @@ type Driver struct {
 	inFlight map[addrspace.PageID]*pendingFault // waiting + in service
 	busy     int                                // channels in use
 
+	probe probe.Probe // nil unless instrumented
 	stats Stats
 }
 
@@ -148,6 +151,11 @@ func New(cfg Config, engine *sim.Engine, memory *mem.DeviceMemory, pol policy.Po
 	return d
 }
 
+// SetProbe attaches an instrumentation probe (nil detaches). Every emission
+// site is guarded by a nil check, so the unprobed driver keeps its exact
+// fast path.
+func (d *Driver) SetProbe(p probe.Probe) { d.probe = p }
+
 // Stats returns a copy of the driver's counters.
 func (d *Driver) Stats() Stats { return d.stats }
 
@@ -175,13 +183,19 @@ func (d *Driver) Fault(p addrspace.PageID, seq int, wake func()) {
 	if f, ok := d.inFlight[p]; ok {
 		f.wakeups = append(f.wakeups, wake)
 		d.stats.Coalesced++
+		if d.probe != nil {
+			d.probe.Emit(probe.Coalesce(d.engine.Now(), p, seq))
+		}
 		return
 	}
-	f := &pendingFault{page: p, seq: seq, wakeups: []func(){wake}}
+	f := &pendingFault{page: p, seq: seq, enq: d.engine.Now(), wakeups: []func(){wake}}
 	d.queue = append(d.queue, f)
 	d.inFlight[p] = f
 	if len(d.queue) > d.stats.MaxQueueDepth {
 		d.stats.MaxQueueDepth = len(d.queue)
+	}
+	if d.probe != nil {
+		d.probe.Emit(probe.FaultBegin(f.enq, p, seq, len(d.queue)))
 	}
 	d.pump()
 }
@@ -227,7 +241,7 @@ func (d *Driver) prefetch(page addrspace.PageID, seq int) {
 			}
 			// A queued fault for the same block: the migration satisfies it
 			// now (fault batching, as real UVM runtimes do).
-			if d.evictIfFull() {
+			if d.evictIfFull(p) {
 				continue
 			}
 			if _, err := d.memory.Insert(p); err != nil {
@@ -239,13 +253,17 @@ func (d *Driver) prefetch(page addrspace.PageID, seq int) {
 			d.stats.Batched++
 			f.done = true
 			delete(d.inFlight, p)
+			if d.probe != nil {
+				now := d.engine.Now()
+				d.probe.Emit(probe.FaultEnd(now, p, f.seq, now-f.enq, true))
+			}
 			for _, wake := range f.wakeups {
 				wake()
 			}
 			brought++
 			continue
 		}
-		if d.evictIfFull() {
+		if d.evictIfFull(p) {
 			continue
 		}
 		if _, err := d.memory.Insert(p); err != nil {
@@ -253,13 +271,17 @@ func (d *Driver) prefetch(page addrspace.PageID, seq int) {
 		}
 		d.pol.OnMapped(p, seq)
 		d.stats.Prefetched++
+		if d.probe != nil {
+			d.probe.Emit(probe.Prefetch(d.engine.Now(), p, seq))
+		}
 		brought++
 	}
 }
 
-// evictIfFull frees one frame via the policy when memory is full. It
-// returns true when eviction was needed but impossible.
-func (d *Driver) evictIfFull() bool {
+// evictIfFull frees one frame via the policy when memory is full, so that
+// `trigger` can be mapped. It returns true when eviction was needed but
+// impossible.
+func (d *Driver) evictIfFull(trigger addrspace.PageID) bool {
 	if !d.memory.Full() {
 		return false
 	}
@@ -272,6 +294,9 @@ func (d *Driver) evictIfFull() bool {
 		d.invalidate(victim)
 	}
 	d.stats.Evictions++
+	if d.probe != nil {
+		d.probe.Emit(probe.Eviction(d.engine.Now(), victim, trigger))
+	}
 	return false
 }
 
@@ -290,6 +315,9 @@ func (d *Driver) complete(f *pendingFault) {
 			d.invalidate(victim)
 		}
 		d.stats.Evictions++
+		if d.probe != nil {
+			d.probe.Emit(probe.Eviction(d.engine.Now(), victim, f.page))
+		}
 	}
 	if _, err := d.memory.Insert(f.page); err != nil {
 		panic(fmt.Sprintf("uvm: insert after eviction failed: %v", err))
@@ -297,6 +325,10 @@ func (d *Driver) complete(f *pendingFault) {
 	d.pol.OnMapped(f.page, f.seq)
 	d.stats.FaultsServiced++
 	delete(d.inFlight, f.page)
+	if d.probe != nil {
+		now := d.engine.Now()
+		d.probe.Emit(probe.FaultEnd(now, f.page, f.seq, now-f.enq, false))
+	}
 
 	d.prefetch(f.page, f.seq)
 
@@ -317,6 +349,9 @@ func (d *Driver) complete(f *pendingFault) {
 			transfer = sim.Cycle(math.Ceil(float64(bytes) / d.cfg.PCIeBytesPerCycle))
 			d.stats.HIRTransferCycles += transfer
 			d.stats.BusyCycles += transfer
+			if d.probe != nil {
+				d.probe.Emit(probe.HIRDrain(d.engine.Now(), len(recs), bytes, transfer))
+			}
 			if d.sink != nil {
 				sink := d.sink
 				d.engine.After(transfer, func() { sink.OnHitBatch(recs) })

@@ -1,0 +1,164 @@
+package hpe
+
+import (
+	"io"
+
+	"hpe/internal/policy"
+	"hpe/internal/probe"
+	"hpe/internal/registry"
+	"hpe/internal/trace"
+)
+
+// Observability vocabulary re-exported from internal/probe.
+type (
+	// Probe consumes the typed instrumentation event stream of a run.
+	Probe = probe.Probe
+	// ProbeEvent is one instrumentation event (see the probe package's
+	// event taxonomy).
+	ProbeEvent = probe.Event
+	// ProbeKind enumerates the event taxonomy.
+	ProbeKind = probe.Kind
+	// ProbeSnapshot is the Metrics probe's aggregate summary, surfaced as
+	// Result.Probe.
+	ProbeSnapshot = probe.Snapshot
+	// MetricsProbe aggregates per-event-kind latency and inter-arrival
+	// histograms.
+	MetricsProbe = probe.Metrics
+	// ChromeTraceProbe streams Chrome trace_event JSON for
+	// chrome://tracing / Perfetto.
+	ChromeTraceProbe = probe.ChromeTrace
+	// ChromeTraceConfig parameterises a ChromeTraceProbe.
+	ChromeTraceConfig = probe.ChromeTraceConfig
+)
+
+// NewMetricsProbe returns an empty metrics-aggregating probe.
+func NewMetricsProbe() *MetricsProbe { return probe.NewMetrics() }
+
+// NewChromeTraceProbe returns a probe streaming Chrome trace_event JSON to w.
+func NewChromeTraceProbe(w io.Writer, cfg ChromeTraceConfig) *ChromeTraceProbe {
+	return probe.NewChromeTrace(w, cfg)
+}
+
+// MultiProbe fans one event stream out to several probes (nils dropped).
+func MultiProbe(ps ...Probe) Probe { return probe.Multi(ps...) }
+
+// ProbeEventNames lists every event-kind name in taxonomy order.
+func ProbeEventNames() []string { return probe.KindNames() }
+
+// runConfig collects the RunOption state for one Simulate/Replay call.
+type runConfig struct {
+	probes []probe.Probe
+	seed   *int64
+	useHIR bool
+}
+
+// RunOption customises one simulation or replay run. Options are run-scoped
+// concerns (instrumentation, seeding) that do not belong in the simulated
+// system's Config — future knobs extend this list instead of growing
+// gpu.Config.
+type RunOption func(*runConfig)
+
+// WithProbe attaches an instrumentation probe to the run; repeating the
+// option composes probes. The run flushes attached probes on completion.
+// With no probe attached the simulator keeps its exact uninstrumented fast
+// path (a single nil check per emission site).
+func WithProbe(p Probe) RunOption {
+	return func(rc *runConfig) {
+		if p != nil {
+			rc.probes = append(rc.probes, p)
+		}
+	}
+}
+
+// WithSeed re-seeds randomised policies (Random) for this run; policies
+// without an RNG ignore it.
+func WithSeed(seed int64) RunOption {
+	return func(rc *runConfig) { s := seed; rc.seed = &s }
+}
+
+// WithHIR attaches the HIR cache to the run (cfg.HIR geometry), routing walk
+// hits through it — the production HPE configuration. SimulateHPE implies it.
+func WithHIR() RunOption {
+	return func(rc *runConfig) { rc.useHIR = true }
+}
+
+// apply folds the options and prepares the composed probe (nil when none).
+func applyRunOptions(pol Policy, opts []RunOption) (runConfig, Probe) {
+	var rc runConfig
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if rc.seed != nil {
+		if r, ok := pol.(policy.Reseedable); ok {
+			r.Reseed(*rc.seed)
+		}
+	}
+	return rc, probe.Multi(rc.probes...)
+}
+
+// flushProbe finalises a run's probe; flush errors surface on the probe
+// itself (e.g. ChromeTraceProbe.Err) rather than failing the run.
+func flushProbe(p Probe) {
+	if p != nil {
+		_ = p.Flush()
+	}
+}
+
+// PolicyOption customises registry policy construction (NewPolicy).
+type PolicyOption = registry.Option
+
+// PolicyInfo describes one registered policy.
+type PolicyInfo = registry.Info
+
+// WithPolicySeed seeds randomised policies at construction time.
+func WithPolicySeed(seed int64) PolicyOption { return registry.WithSeed(seed) }
+
+// WithCapacity supplies the device-memory capacity in pages (required by
+// CLOCK-Pro and ARC).
+func WithCapacity(pages int) PolicyOption { return registry.WithCapacity(pages) }
+
+// WithTrace supplies the reference string for offline policies (Ideal).
+func WithTrace(tr *Trace) PolicyOption { return registry.WithTrace(tr) }
+
+// WithFutureIndex lazily supplies a prebuilt Belady future index to Ideal;
+// fn runs only if the policy needs it.
+func WithFutureIndex(fn func() *trace.FutureIndex) PolicyOption {
+	return registry.WithFutureIndex(fn)
+}
+
+// WithRRIPConfig pins the RRIP configuration.
+func WithRRIPConfig(cfg RRIPConfig) PolicyOption { return registry.WithRRIPConfig(cfg) }
+
+// WithThrashingRRIP selects the Type-II RRIP preset (distant insertion,
+// delay threshold 128); other policies ignore it.
+func WithThrashingRRIP() PolicyOption { return registry.WithThrashingRRIP() }
+
+// WithHPEConfig pins the HPE policy configuration.
+func WithHPEConfig(cfg HPEConfig) PolicyOption { return registry.WithHPEConfig(cfg) }
+
+// NewPolicy builds a fresh policy instance by registry name
+// (case-insensitive; aliases like "clock-pro" and "belady" accepted). It
+// errors on an unknown name or a missing required option — CLOCK-Pro and ARC
+// need WithCapacity, Ideal needs WithTrace or WithFutureIndex.
+func NewPolicy(name string, opts ...PolicyOption) (Policy, error) {
+	return registry.New(name, opts...)
+}
+
+// PolicyNames lists the canonical registry policy names in paper order.
+func PolicyNames() []string { return registry.Names() }
+
+// Policies returns every registered policy's metadata in paper order.
+func Policies() []PolicyInfo { return registry.Infos() }
+
+// LookupPolicy returns the metadata of a policy name (canonical or alias).
+func LookupPolicy(name string) (PolicyInfo, bool) { return registry.Lookup(name) }
+
+// mustPolicy backs the legacy fixed constructors, which delegate to the
+// registry with options that make construction infallible.
+func mustPolicy(name string, opts ...PolicyOption) Policy {
+	pol, err := registry.New(name, opts...)
+	if err != nil {
+		panic("hpe: " + err.Error())
+	}
+	return pol
+}
