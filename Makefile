@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race fuzz-seed bench bench-probe clean
+.PHONY: all check build test vet race serve-check fuzz-seed bench bench-probe clean
 
 all: check
 
-check: build vet test race fuzz-seed
+check: build vet test race serve-check fuzz-seed
 
 # Tier-1 verify (ROADMAP.md).
 build:
@@ -24,6 +24,13 @@ vet:
 # The experiment suite's shared-cache paths under the race detector (~35 s).
 race:
 	$(GO) test -race -run 'Concurrent|Dedup|RunPool' ./internal/experiments/
+
+# The hped serving layer under the race detector: coalescer, result cache,
+# admission queue, cancellation, the soak test, and the daemon's SIGTERM
+# lifecycle are all concurrency-critical.
+serve-check:
+	$(GO) vet ./internal/server/ ./cmd/hped/
+	$(GO) test -race -count=1 ./internal/server/ ./cmd/hped/
 
 # Fuzz targets, seed corpus only (the -fuzz loop is interactive; run
 # `go test -fuzz=FuzzCatalogGenerate ./internal/workload/` to explore).

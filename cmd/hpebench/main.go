@@ -21,12 +21,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
@@ -73,7 +76,16 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: 1, Workers: *workers}
+	// Ctrl-C stops the sweep at the next cancellation poll instead of
+	// leaving workers churning; a second Ctrl-C kills the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop() // restore default handling: a second Ctrl-C kills outright
+	}()
+
+	opts := experiments.Options{Quick: *quick, Seed: 1, Workers: *workers, Context: ctx}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -89,6 +101,10 @@ func main() {
 	}
 	start := time.Now()
 	reports, err := suite.Reports(ids)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "hpebench: interrupted")
+		os.Exit(130)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%v (use -list)\n", err)
 		os.Exit(2)

@@ -1,0 +1,106 @@
+// Command hped is the simulation-as-a-service daemon: a long-running HTTP
+// server exposing the full simulation surface with request coalescing, a
+// content-addressed result cache, and cancellable runs.
+//
+// Usage:
+//
+//	hped                          # listen on 127.0.0.1:7770
+//	hped -addr :8080 -workers 8   # public, 8 concurrent simulations
+//	hped -cache-mb 1024           # 1 GiB result cache
+//
+// Quickstart:
+//
+//	curl -s localhost:7770/v1/apps | jq '.[0]'
+//	curl -s -X POST localhost:7770/v1/runs \
+//	     -d '{"app":"HSD","policy":"hpe","rate":75}' | jq .result.IPC
+//	curl -s localhost:7770/metrics | grep hped_cache
+//
+// Identical concurrent submissions coalesce onto one simulation; repeated
+// submissions hit the LRU result cache and return byte-identical bodies in
+// microseconds. SIGINT/SIGTERM drains in-flight requests (bounded by
+// -shutdown-timeout), cancels whatever remains, flushes the cache stats to
+// stderr, and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"hpe/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive a full
+// daemon lifecycle — including real SIGTERM delivery — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("hped", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:7770", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	queue := fs.Int("queue", 0, "admitted computations waiting beyond -workers before 429 (0 = 4x workers)")
+	cacheMB := fs.Int64("cache-mb", 256, "result-cache budget in MiB")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second,
+		"how long SIGTERM waits for in-flight requests before cancelling them")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: *cacheMB << 20,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		},
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "hped: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	fmt.Fprintf(stdout, "hped listening on http://%s (workers=%d, cache=%dMiB)\n",
+		ln.Addr(), *workers, *cacheMB)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "hped: serve: %v\n", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish
+	// within the timeout, then cancel whatever is still simulating.
+	fmt.Fprintf(stderr, "hped: shutdown signal, draining (timeout %v)\n", *shutdownTimeout)
+	srv.Drain()
+	dctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	drainErr := httpSrv.Shutdown(dctx)
+	fmt.Fprintf(stderr, "hped: %s\n", srv.Close())
+	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "hped: drain: %v (in-flight simulations cancelled)\n", drainErr)
+		return 1
+	}
+	fmt.Fprintln(stderr, "hped: drained cleanly")
+	return 0
+}

@@ -10,11 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hpe"
@@ -84,6 +86,15 @@ func main() {
 	fmt.Printf("workload %s: %d refs, %d pages footprint (%.1f MB), memory %d pages (%d%%)\n",
 		tr.Name, tr.Len(), tr.Footprint(), float64(tr.FootprintBytes())/(1<<20), capacity, *rate)
 
+	// Ctrl-C stops the current simulation at its next cancellation poll and
+	// skips the remaining policies; a second Ctrl-C kills outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
 	for _, name := range strings.Split(*policies, ",") {
 		name = strings.TrimSpace(strings.ToLower(name))
 		cfg := hpe.SystemConfig(capacity)
@@ -112,7 +123,7 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		var ropts []hpe.RunOption
+		ropts := []hpe.RunOption{hpe.WithContext(ctx)}
 		if info, ok := hpe.LookupPolicy(name); ok && info.NeedsHIR {
 			ropts = append(ropts, hpe.WithHIR())
 		}
@@ -122,6 +133,10 @@ func main() {
 			ropts = append(ropts, hpe.WithProbe(m))
 		}
 		res := hpe.Simulate(cfg, tr, pol, ropts...)
+		if res.Cancelled {
+			fmt.Fprintln(os.Stderr, "hpesim: interrupted")
+			os.Exit(130)
+		}
 		fmt.Println(res)
 		if *verbose {
 			printDetails(res)

@@ -33,6 +33,8 @@
 package hpe
 
 import (
+	"context"
+
 	"hpe/internal/addrspace"
 	"hpe/internal/experiments"
 	"hpe/internal/gpu"
@@ -119,6 +121,9 @@ func Simulate(cfg Config, tr *Trace, pol Policy, opts ...RunOption) Result {
 	if pr != nil {
 		gopts = append(gopts, gpu.WithProbe(pr))
 	}
+	if rc.ctx != nil {
+		gopts = append(gopts, gpu.WithContext(rc.ctx))
+	}
 	r := gpu.Run(cfg, tr, pol, gopts...)
 	flushProbe(pr)
 	return r
@@ -136,8 +141,12 @@ func SimulateHPE(cfg Config, tr *Trace, hpeCfg HPEConfig, opts ...RunOption) Res
 // WithProbe attaches instrumentation (events carry the trace position as
 // their timestamp); WithHIR has no effect here.
 func Replay(tr *Trace, pol Policy, capacityPages int, opts ...RunOption) ReplayResult {
-	_, pr := applyRunOptions(pol, opts)
-	r := policy.ReplayProbed(tr, pol, capacityPages, pr)
+	rc, pr := applyRunOptions(pol, opts)
+	ctx := rc.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r := policy.ReplayContext(ctx, tr, pol, capacityPages, pr)
 	flushProbe(pr)
 	return r
 }

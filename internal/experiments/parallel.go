@@ -10,6 +10,7 @@ package experiments
 // debugging path.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -79,32 +80,80 @@ func (s *Suite) workers() int {
 // runPool executes fn(0..n-1) across at most `workers` goroutines. With one
 // worker (or one job) it degenerates to a plain loop on the calling
 // goroutine — no channels, no goroutines.
-func runPool(workers, n int, fn func(int)) {
+//
+// Teardown is deterministic in both failure modes:
+//
+//   - Cancellation: when ctx is done the feeder stops handing out indices,
+//     in-flight fn calls finish (their simulations observe the same ctx and
+//     stop at the next poll), every worker exits, and runPool returns
+//     ctx.Err(). No goroutine is left blocked on the feed channel.
+//   - Panic: a panicking fn no longer kills the process from inside a worker
+//     (which would strand the feeder blocked on `next <-` with no receiver
+//     during crash unwinding). The first panic value is captured, remaining
+//     work is abandoned, all workers drain, and the panic is re-raised on
+//     the calling goroutine once the pool is quiescent.
+func runPool(ctx context.Context, workers, n int, fn func(int)) error {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done()
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if done != nil {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	next := make(chan int)
+	stop := make(chan struct{}) // closed by the first panicking worker
+	var stopOnce sync.Once
+	var panicMu sync.Mutex
+	var panicked bool
+	var panicVal any
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panicMu.Lock()
+							if !panicked {
+								panicked, panicVal = true, p
+							}
+							panicMu.Unlock()
+							stopOnce.Do(func() { close(stop) })
+						}
+					}()
+					fn(i)
+				}()
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-stop:
+			break feed
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
+	return ctx.Err()
 }
 
 // runSpec is one cell of the standard (app, policy, rate) run matrix.
@@ -139,7 +188,7 @@ func (s *Suite) Prewarm(workers int) {
 		return
 	}
 	specs := s.grid()
-	runPool(workers, len(specs), func(i int) {
+	_ = runPool(s.ctx(), workers, len(specs), func(i int) {
 		sp := specs[i]
 		s.Run(sp.app, sp.kind, sp.rate)
 	})
@@ -153,7 +202,9 @@ func (s *Suite) Prewarm(workers int) {
 // through the singleflight cache, so shared cells are still simulated once.
 // Aggregation order is the ids slice, and each report is assembled from
 // cached results in canonical catalog order, so output is byte-identical to
-// Workers == 1.
+// Workers == 1. When Options.Context is cancelled mid-run the pool drains
+// deterministically and Reports returns the context's error with no reports
+// (partial aggregates are never surfaced).
 func (s *Suite) Reports(ids []string) ([]Report, error) {
 	fns := make([]func() Report, len(ids))
 	for i, id := range ids {
@@ -167,6 +218,8 @@ func (s *Suite) Reports(ids []string) ([]Report, error) {
 		s.Prewarm(w)
 	}
 	out := make([]Report, len(ids))
-	runPool(s.workers(), len(ids), func(i int) { out[i] = fns[i]() })
+	if err := runPool(s.ctx(), s.workers(), len(ids), func(i int) { out[i] = fns[i]() }); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

@@ -1,11 +1,16 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"hpe/internal/addrspace"
 	"hpe/internal/gpu"
 	"hpe/internal/policy"
 	"hpe/internal/trace"
@@ -71,17 +76,126 @@ func TestDedupRecoversFromPanic(t *testing.T) {
 // --- worker pool ---------------------------------------------------------------
 
 func TestRunPoolCoversAllIndices(t *testing.T) {
+	ctx := context.Background()
 	for _, workers := range []int{1, 3, 8, 100} {
 		const n = 37
 		hits := make([]atomic.Int32, n)
-		runPool(workers, n, func(i int) { hits[i].Add(1) })
+		if err := runPool(ctx, workers, n, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: runPool error: %v", workers, err)
+		}
 		for i := range hits {
 			if c := hits[i].Load(); c != 1 {
 				t.Fatalf("workers=%d: index %d executed %d times", workers, i, c)
 			}
 		}
 	}
-	runPool(4, 0, func(int) { t.Fatal("fn called for n=0") })
+	_ = runPool(ctx, 4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// TestRunPoolDrainsOnCancel cancels the pool mid-feed and requires a clean
+// teardown: runPool returns context.Canceled, no index past the cancellation
+// point runs, and every worker goroutine exits (nothing left blocked on the
+// feed channel).
+func TestRunPoolDrainsOnCancel(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := runPool(ctx, 4, 1000, func(i int) {
+		if ran.Add(1) == 8 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+	})
+	if err != context.Canceled {
+		t.Fatalf("runPool error = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("pool ran all %d jobs despite cancellation", n)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestRunPoolDrainsOnPanic covers the early-error teardown: a panicking job
+// (the "policy fails on first eviction" scenario — SelectVictim panics inside
+// a worker) must not strand the feeder on the feed channel or kill the
+// process from a worker goroutine. The panic re-raises on the caller after
+// every worker has exited.
+func TestRunPoolDrainsOnPanic(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var ran atomic.Int32
+	func() {
+		defer func() {
+			if p := recover(); p != "policy failed on first eviction" {
+				t.Errorf("recovered %v, want the job's panic value", p)
+			}
+		}()
+		_ = runPool(context.Background(), 4, 1000, func(i int) {
+			if ran.Add(1) == 5 {
+				panic("policy failed on first eviction")
+			}
+			time.Sleep(100 * time.Microsecond)
+		})
+		t.Error("runPool returned instead of panicking")
+	}()
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("pool ran all %d jobs despite the panic", n)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestSuitePanickingPolicyDrains runs a real suite cell whose policy panics
+// on its first eviction under a 4-worker pool: the panic must surface to the
+// Prewarm caller with the pool fully drained, and the poisoned cell must be
+// reclaimable afterwards (dedup drops panicked flights).
+func TestSuitePanickingPolicyDrains(t *testing.T) {
+	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 4})
+	app, _ := byAbbr(s.apps, "HOT")
+	before := runtime.NumGoroutine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panicking policy did not propagate out of the pool")
+			}
+		}()
+		_ = runPool(context.Background(), 4, 4, func(i int) {
+			s.RunVariant(app, KindLRU, 75, fmt.Sprintf("failing%d", i),
+				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+					cfg := s.simConfig(app, capacity, KindLRU)
+					return cfg, failOnEvict{Policy: policy.NewLRU()}
+				})
+		})
+	}()
+	waitForGoroutines(t, before)
+	// The cells are reclaimable: a well-behaved retry of the same keys works.
+	r := s.RunVariant(app, KindLRU, 75, "failing0",
+		func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
+			cfg := s.simConfig(app, capacity, KindLRU)
+			return cfg, policy.NewLRU()
+		})
+	if r.Accesses == 0 {
+		t.Fatal("retry after panicked flight produced an empty result")
+	}
+}
+
+// failOnEvict wraps a policy and panics the first time a victim is needed.
+type failOnEvict struct{ policy.Policy }
+
+func (f failOnEvict) SelectVictim() addrspace.PageID {
+	panic("policy failed on first eviction")
+}
+
+// waitForGoroutines waits for the goroutine count to fall back to (or below)
+// the pre-test baseline, tolerating runtime background goroutines.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
 }
 
 // --- suite concurrency ---------------------------------------------------------

@@ -25,6 +25,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -119,6 +120,12 @@ type Options struct {
 	// probe is flushed when the run completes. Probes observe only, so
 	// attaching them never changes a report.
 	Probe func(RunInfo) probe.Probe
+	// Context, when non-nil, cancels the suite: in-flight simulations stop
+	// at their next cancellation poll, the worker pool drains, and Reports
+	// returns the context's error. Cancelled (partial) simulation results
+	// are never cached. nil means context.Background() — no polling, the
+	// exact pre-context fast path.
+	Context context.Context
 }
 
 // RunInfo identifies one simulation of the run matrix, as handed to the
@@ -189,6 +196,14 @@ func NewSuite(opts Options) *Suite {
 
 // Apps returns the applications in play.
 func (s *Suite) Apps() []workload.App { return s.apps }
+
+// ctx returns the suite's cancellation context (Background when unset).
+func (s *Suite) ctx() context.Context {
+	if s.opts.Context != nil {
+		return s.opts.Context
+	}
+	return context.Background()
+}
 
 // Trace returns (and caches) the app's canonical trace. Concurrent callers
 // for the same app share one generation.
@@ -271,9 +286,23 @@ func (s *Suite) Run(app workload.App, kind PolicyKind, ratePct int) gpu.Result {
 		return s.simulate(key, cfg, tr, pol)
 	})
 	if computed {
+		s.uncachePartial(key, r)
 		s.progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", app.Abbr, kind, ratePct, r))
 	}
 	return r
+}
+
+// uncachePartial drops a cancelled (partial) result from the memo cache so a
+// reused Suite never serves it as if it were complete. The waiters of that
+// flight still receive the partial value — they share the cancelled context
+// and their aggregation is about to be abandoned anyway.
+func (s *Suite) uncachePartial(key runKey, r gpu.Result) {
+	if !r.Cancelled {
+		return
+	}
+	s.mu.Lock()
+	delete(s.results, key)
+	s.mu.Unlock()
 }
 
 // RunVariant simulates with a caller-customised configuration, cached under
@@ -289,6 +318,7 @@ func (s *Suite) RunVariant(app workload.App, kind PolicyKind, ratePct int, varia
 		return s.simulate(key, cfg, tr, pol)
 	})
 	if computed {
+		s.uncachePartial(key, r)
 		s.progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", app.Abbr, kind, ratePct, variant, r))
 	}
 	return r
@@ -298,6 +328,9 @@ func (s *Suite) RunVariant(app workload.App, kind PolicyKind, ratePct int, varia
 // probe when an Options.Probe factory is set.
 func (s *Suite) simulate(key runKey, cfg gpu.Config, tr *trace.Trace, pol policy.Policy) gpu.Result {
 	var opts []gpu.Option
+	if s.opts.Context != nil {
+		opts = append(opts, gpu.WithContext(s.opts.Context))
+	}
 	var pr probe.Probe
 	if s.opts.Probe != nil {
 		pr = s.opts.Probe(RunInfo{App: key.app, Policy: kindName(key.kind),

@@ -1,0 +1,51 @@
+package gpu
+
+import (
+	"context"
+	"testing"
+
+	"hpe/internal/policy"
+	"hpe/internal/workload"
+)
+
+// TestWithContextCancelStopsRun cancels a simulation before it starts and
+// verifies the engine aborts at its first poll: the run returns quickly with
+// Cancelled set and only a prefix of the trace processed.
+func TestWithContextCancelStopsRun(t *testing.T) {
+	app, ok := workload.ByAbbr("HOT")
+	if !ok {
+		t.Fatal("catalog missing HOT")
+	}
+	tr := app.Generate()
+	full := Run(DefaultConfig(tr.Footprint()*3/4), tr, policy.NewLRU())
+	if full.Cancelled {
+		t.Fatal("uncancelled run reported Cancelled")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the engine stops at the first poll
+	r := Run(DefaultConfig(tr.Footprint()*3/4), tr, policy.NewLRU(), WithContext(ctx))
+	if !r.Cancelled {
+		t.Fatal("cancelled run did not report Cancelled")
+	}
+	if r.TimedOut {
+		t.Fatal("cancelled run also reported TimedOut")
+	}
+	if r.Accesses >= full.Accesses {
+		t.Fatalf("cancelled run completed %d accesses, full run %d — no early stop",
+			r.Accesses, full.Accesses)
+	}
+}
+
+// TestWithContextBackgroundIsDeterministic verifies attaching a Background
+// context changes nothing: same Result as the plain run, bit for bit.
+func TestWithContextBackgroundIsDeterministic(t *testing.T) {
+	app, _ := workload.ByAbbr("HOT")
+	tr := app.Generate()
+	cfg := DefaultConfig(tr.Footprint() * 3 / 4)
+	plain := Run(cfg, tr, policy.NewLRU())
+	probed := Run(cfg, tr, policy.NewLRU(), WithContext(context.Background()))
+	if plain != probed {
+		t.Fatal("WithContext(Background) changed the simulation result")
+	}
+}

@@ -21,6 +21,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 
 	"hpe/internal/addrspace"
@@ -183,6 +184,9 @@ type Result struct {
 
 	// TimedOut reports that MaxCycles stopped the run early.
 	TimedOut bool
+	// Cancelled reports that the run's context (WithContext) was cancelled
+	// before the trace drained; counters cover the simulated prefix only.
+	Cancelled bool
 }
 
 // Runtime returns the simulated wall-clock time in seconds.
@@ -253,6 +257,32 @@ func WithProbe(p probe.Probe) Option {
 		if s.hirC != nil {
 			s.hirC.SetProbe(p, s.engine.Now)
 		}
+	}
+}
+
+// cancelPollEvents is how many engine events fire between context polls
+// under WithContext: frequent enough that a cancelled client stops the
+// simulation within microseconds of wall time, rare enough that the poll
+// cost vanishes against event dispatch.
+const cancelPollEvents = 4096
+
+// WithContext ties the run to ctx: the event engine polls ctx.Done() every
+// cancelPollEvents events and stops firing when it closes, marking the
+// Result Cancelled. A context that can never be cancelled (Background) is a
+// no-op, preserving the exact unpolled fast path.
+func WithContext(ctx context.Context) Option {
+	return func(s *Simulator) {
+		if ctx == nil || ctx.Done() == nil {
+			return
+		}
+		s.engine.SetCancel(cancelPollEvents, func() bool {
+			select {
+			case <-ctx.Done():
+				return true
+			default:
+				return false
+			}
+		})
 	}
 }
 
@@ -497,7 +527,8 @@ func (s *Simulator) Run() Result {
 		WalkMerges:      s.walkMerges,
 		BarriersCrossed: s.barriers,
 		Driver:          s.driver.Stats(),
-		TimedOut:        s.cfg.MaxCycles > 0 && s.engine.Pending() > 0,
+		Cancelled:       s.engine.Cancelled(),
+		TimedOut:        s.cfg.MaxCycles > 0 && s.engine.Pending() > 0 && !s.engine.Cancelled(),
 	}
 	res.Faults = res.Driver.FaultsServiced
 	res.Evictions = res.Driver.Evictions

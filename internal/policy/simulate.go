@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"context"
 	"fmt"
 
 	"hpe/internal/addrspace"
@@ -20,6 +21,9 @@ type ReplayResult struct {
 	Faults    uint64
 	Evictions uint64
 	Hits      uint64
+	// Cancelled reports that the replay's context was cancelled before the
+	// reference string drained; counters cover the replayed prefix only.
+	Cancelled bool
 }
 
 // FaultRate returns faults per reference.
@@ -49,12 +53,33 @@ func Replay(tr *trace.Trace, p Policy, capacityPages int) ReplayResult {
 // sim.Cycle(seq)): inter-arrival histograms then measure reference distance
 // rather than simulated time. A nil probe keeps the exact Replay fast path.
 func ReplayProbed(tr *trace.Trace, p Policy, capacityPages int, pr probe.Probe) ReplayResult {
+	return ReplayContext(context.Background(), tr, p, capacityPages, pr)
+}
+
+// cancelPollRefs is how many references replay between context polls in
+// ReplayContext — same rationale as the event engine's poll interval.
+const cancelPollRefs = 4096
+
+// ReplayContext is ReplayProbed tied to a context: the replay loop polls
+// ctx.Done() every cancelPollRefs references and stops early when it closes,
+// marking the result Cancelled. A never-cancellable context (Background)
+// keeps the exact unpolled fast path.
+func ReplayContext(ctx context.Context, tr *trace.Trace, p Policy, capacityPages int, pr probe.Probe) ReplayResult {
 	if capacityPages <= 0 {
 		panic(fmt.Sprintf("policy: Replay capacity %d must be positive", capacityPages))
 	}
+	done := ctx.Done()
 	resident := make(map[addrspace.PageID]struct{}, capacityPages)
 	res := ReplayResult{Policy: p.Name(), Refs: tr.Len()}
 	for seq, page := range tr.Refs {
+		if done != nil && seq%cancelPollRefs == cancelPollRefs-1 {
+			select {
+			case <-done:
+				res.Cancelled = true
+				return res
+			default:
+			}
+		}
 		if _, ok := resident[page]; ok {
 			res.Hits++
 			p.OnWalkHit(page, seq)

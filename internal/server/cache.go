@@ -1,0 +1,107 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed result cache: an LRU over rendered
+// response bodies keyed by run ID, bounded by a byte budget rather than an
+// entry count (a suite sweep's body is thousands of times larger than a
+// single run's). Because IDs are content addresses of canonicalized requests
+// and every simulation is deterministic, a hit is byte-identical to what a
+// fresh simulation would render — the cache can never serve a stale or
+// wrong body, only save the minutes it would take to recompute one.
+type resultCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	id   string
+	body []byte
+}
+
+// newResultCache builds a cache with the given byte budget. A budget <= 0
+// disables caching (every Get misses, Put is a no-op).
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{
+		budget: budget,
+		ll:     list.New(),
+		items:  make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for id, marking it most recently used.
+func (c *resultCache) Get(id string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[id]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put inserts body under id, evicting least-recently-used entries until the
+// byte budget holds. A body larger than the whole budget is not cached.
+// Callers must not mutate body after handing it over.
+func (c *resultCache) Put(id string, body []byte) {
+	if int64(len(body)) > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[id]; ok {
+		// Deterministic results make re-insertion a no-op byte-wise; just
+		// refresh recency.
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.ll.PushFront(&cacheEntry{id: id, body: body})
+	c.items[id] = c.ll.Front()
+	c.bytes += int64(len(body))
+	for c.bytes > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.ll.Remove(oldest)
+		delete(c.items, ent.id)
+		c.bytes -= int64(len(ent.body))
+		c.evictions++
+	}
+}
+
+// cacheStats is a point-in-time snapshot for /metrics and shutdown logging.
+type cacheStats struct {
+	Entries   int
+	Bytes     int64
+	Budget    int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats snapshots the cache counters.
+func (c *resultCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		Budget:    c.budget,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

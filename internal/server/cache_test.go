@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// --- resultCache unit tests ----------------------------------------------
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(10)
+	c.Put("a", []byte("aaaa")) // 4 bytes
+	c.Put("b", []byte("bbbb")) // 8 bytes
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing before budget pressure")
+	}
+	// a is now most recently used; inserting 4 more bytes must evict b.
+	c.Put("c", []byte("cccc"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction despite being least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite being most recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing right after insertion")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 8 {
+		t.Errorf("stats after eviction: %+v", st)
+	}
+}
+
+func TestResultCacheOversizedBodySkipped(t *testing.T) {
+	c := newResultCache(4)
+	c.Put("big", []byte("too large"))
+	if _, ok := c.Get("big"); ok {
+		t.Error("body larger than the whole budget was cached")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Errorf("oversized Put leaked accounting: %+v", st)
+	}
+}
+
+func TestResultCacheReinsertRefreshesRecency(t *testing.T) {
+	c := newResultCache(8)
+	c.Put("a", []byte("aaaa"))
+	c.Put("b", []byte("bbbb"))
+	c.Put("a", []byte("aaaa")) // refresh, not duplicate
+	c.Put("c", []byte("cccc")) // must evict b, not a
+	if _, ok := c.Get("a"); !ok {
+		t.Error("re-inserted entry was evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("stale entry survived")
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(-1)
+	c.Put("a", []byte("aaaa"))
+	if _, ok := c.Get("a"); ok {
+		t.Error("negative budget should disable caching")
+	}
+}
+
+// --- coalescing end-to-end ------------------------------------------------
+
+// runsSnapshot reads the leader-computation counters (test helper).
+func (m *serverMetrics) runsSnapshot() (started, completed, cancelled, failed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.runsStarted, m.runsCompleted, m.runsCancelled, m.runsFailed
+}
+
+// slowRunBody is a run request slow enough (~hundreds of ms, more under
+// -race) that a second client reliably arrives while it is in flight.
+const slowRunBody = `{"app":"BFS","policy":"hpe","rate":50,"options":{"scale":4}}`
+
+// postRun submits a run and returns (status, X-Hped-Source, body). Transport
+// errors are reported with Errorf (not Fatalf) so it is safe off the test
+// goroutine; a zero status signals failure.
+func postRun(t *testing.T, client *http.Client, url, body string) (int, string, []byte) {
+	t.Helper()
+	resp, err := client.Post(url+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Errorf("POST /v1/runs: %v", err)
+		return 0, "", nil
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Errorf("read body: %v", err)
+		return 0, "", nil
+	}
+	return resp.StatusCode, resp.Header.Get("X-Hped-Source"), b
+}
+
+// TestConcurrentIdenticalRunsCoalesce is the coalescing contract: two
+// concurrent identical submissions yield exactly one simulation, observed
+// through the coalesce counter, and both clients receive byte-identical
+// bodies. Checked at 1 and 8 workers — worker count must affect neither the
+// dedup nor the bytes.
+func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-ms simulations skipped in -short mode")
+	}
+	bodies := make(map[int][]byte)
+	for _, workers := range []int{1, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			srv := New(Config{Workers: workers})
+			defer srv.Close()
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			req := RunRequest{App: "BFS", Policy: "hpe", Rate: 50, Options: RunOptions{Scale: 4}}
+			id, err := normalizeRun(&req)
+			if err != nil {
+				t.Fatalf("normalize: %v", err)
+			}
+
+			var wg sync.WaitGroup
+			results := make([][]byte, 2)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				code, _, b := postRun(t, ts.Client(), ts.URL, slowRunBody)
+				if code != http.StatusOK {
+					t.Errorf("leader: status %d: %s", code, b)
+				}
+				results[0] = b
+			}()
+			// Wait until the leader's computation is registered, then join it.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if _, running := srv.co.inflight(id); running {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("leader computation never became visible")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			code, source, b := postRun(t, ts.Client(), ts.URL, slowRunBody)
+			if code != http.StatusOK {
+				t.Fatalf("follower: status %d: %s", code, b)
+			}
+			if source != "coalesce" {
+				t.Errorf("follower source = %q, want coalesce", source)
+			}
+			results[1] = b
+			wg.Wait()
+
+			if got := srv.co.Coalesced(); got != 1 {
+				t.Errorf("coalesced counter = %d, want 1", got)
+			}
+			started, completed, _, _ := srv.met.runsSnapshot()
+			if started != 1 || completed != 1 {
+				t.Errorf("runs started=%d completed=%d, want exactly one simulation", started, completed)
+			}
+			if !bytes.Equal(results[0], results[1]) {
+				t.Errorf("coalesced clients saw different bodies:\n%s\n%s", results[0], results[1])
+			}
+			bodies[workers] = results[0]
+
+			// A re-POST after completion is a cache hit with the same bytes.
+			code, source, b = postRun(t, ts.Client(), ts.URL, slowRunBody)
+			if code != http.StatusOK || source != "cache" {
+				t.Errorf("re-POST: status %d source %q, want 200 from cache", code, source)
+			}
+			if !bytes.Equal(b, results[0]) {
+				t.Errorf("cached body differs from computed body")
+			}
+		})
+	}
+	if len(bodies) == 2 && !bytes.Equal(bodies[1], bodies[8]) {
+		t.Errorf("bodies differ between 1-worker and 8-worker servers:\n%s\n%s", bodies[1], bodies[8])
+	}
+}

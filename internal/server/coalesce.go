@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// coalescer deduplicates identical in-flight requests: when N clients submit
+// the same content-addressed ID concurrently, one simulation runs and all N
+// receive its bytes. The computation executes on its own goroutine under a
+// context that stays alive while at least one waiter is listening (or the
+// server is running), so a leader that disconnects does not kill work other
+// clients still want — and when the last waiter goes away the simulation is
+// cancelled mid-flight instead of burning cycles for nobody.
+type coalescer struct {
+	mu        sync.Mutex
+	calls     map[string]*call
+	coalesced uint64
+}
+
+// call is one in-flight computation.
+type call struct {
+	done    chan struct{} // closed when body/err are final
+	body    []byte
+	err     error
+	waiters int
+	cancel  context.CancelFunc // cancels the computation's context
+}
+
+func newCoalescer() *coalescer {
+	return &coalescer{calls: make(map[string]*call)}
+}
+
+// do returns the computation's result for id, starting compute at most once
+// across concurrent callers. base bounds the computation's lifetime (server
+// shutdown); ctx is this caller's interest (client disconnect, timeout).
+// The returned bool reports whether this caller coalesced onto an existing
+// flight rather than starting one.
+func (c *coalescer) do(ctx, base context.Context, id string,
+	compute func(context.Context) ([]byte, error)) ([]byte, bool, error) {
+	c.mu.Lock()
+	if cl, ok := c.calls[id]; ok {
+		cl.waiters++
+		c.coalesced++
+		c.mu.Unlock()
+		return c.wait(ctx, cl, true)
+	}
+	runCtx, cancel := context.WithCancel(base)
+	cl := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	c.calls[id] = cl
+	c.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		body, err := computeSafely(runCtx, compute)
+		c.mu.Lock()
+		cl.body, cl.err = body, err
+		delete(c.calls, id)
+		c.mu.Unlock()
+		close(cl.done)
+	}()
+	return c.wait(ctx, cl, false)
+}
+
+// computeSafely converts a panicking computation into an error so a bad run
+// cannot take the daemon down from a detached goroutine.
+func computeSafely(ctx context.Context, compute func(context.Context) ([]byte, error)) (body []byte, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			body, err = nil, &panicError{val: p}
+		}
+	}()
+	return compute(ctx)
+}
+
+// panicError wraps a recovered panic value.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string { return "simulation panicked" }
+
+// wait blocks until the call completes or the caller loses interest. The
+// last departing waiter cancels the computation.
+func (c *coalescer) wait(ctx context.Context, cl *call, coalesced bool) ([]byte, bool, error) {
+	select {
+	case <-cl.done:
+		return cl.body, coalesced, cl.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		cl.waiters--
+		abandoned := cl.waiters == 0
+		c.mu.Unlock()
+		if abandoned {
+			cl.cancel()
+		}
+		return nil, coalesced, ctx.Err()
+	}
+}
+
+// inflight reports whether id is currently being computed and for how many
+// waiters (GET /v1/runs status).
+func (c *coalescer) inflight(id string) (waiters int, running bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl, ok := c.calls[id]
+	if !ok {
+		return 0, false
+	}
+	return cl.waiters, true
+}
+
+// Coalesced returns the number of requests that joined an existing flight.
+func (c *coalescer) Coalesced() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.coalesced
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"time"
+
+	"hpe/internal/probe"
+	"hpe/internal/stats"
+)
+
+// serverMetrics aggregates the daemon's operational counters and latency
+// histograms. Latencies land in internal/stats power-of-two histograms
+// (observed in microseconds, exported in seconds); simulation-level event
+// counts are merged from each run's probe.Metrics snapshot, so /metrics
+// exposes both the serving layer and the simulated machine it fronts.
+type serverMetrics struct {
+	mu sync.Mutex
+
+	requests map[string]uint64 // "route code" → count
+
+	runsStarted   uint64
+	runsCompleted uint64
+	runsCancelled uint64
+	runsFailed    uint64
+
+	simEvents map[string]uint64 // probe kind name → total events
+
+	cachedLat stats.Histogram // cache-hit responses, µs
+	simLat    stats.Histogram // full simulations, µs
+	suiteLat  stats.Histogram // suite sweeps, µs
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		requests:  make(map[string]uint64),
+		simEvents: make(map[string]uint64),
+	}
+}
+
+// observeRequest counts one HTTP response by route and status code.
+func (m *serverMetrics) observeRequest(route string, code int) {
+	m.mu.Lock()
+	m.requests[route+" "+itoa(code)]++
+	m.mu.Unlock()
+}
+
+func itoa(code int) string {
+	// Status codes are three digits; avoid strconv on the request path.
+	return string([]byte{byte('0' + code/100), byte('0' + code/10%10), byte('0' + code%10)})
+}
+
+// observeCachedHit records a cache-hit response latency.
+func (m *serverMetrics) observeCachedHit(d time.Duration) {
+	m.mu.Lock()
+	m.cachedLat.Observe(uint64(d.Microseconds()))
+	m.mu.Unlock()
+}
+
+// runStarted/runFinished bracket one leader computation (not coalesced
+// waiters). cancelled marks runs stopped by context rather than completed.
+func (m *serverMetrics) runStarted() {
+	m.mu.Lock()
+	m.runsStarted++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) runFinished(d time.Duration, err error, suite bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		m.runsCancelled++
+		return
+	case err != nil:
+		m.runsFailed++
+		return
+	}
+	m.runsCompleted++
+	if suite {
+		m.suiteLat.Observe(uint64(d.Microseconds()))
+	} else {
+		m.simLat.Observe(uint64(d.Microseconds()))
+	}
+}
+
+// mergeProbe folds one run's probe snapshot into the per-kind event totals.
+func (m *serverMetrics) mergeProbe(s *probe.Snapshot) {
+	if s == nil {
+		return
+	}
+	m.mu.Lock()
+	for _, k := range s.Kinds {
+		m.simEvents[k.Kind] += k.Count
+	}
+	m.mu.Unlock()
+}
+
+// simEventTotal returns the merged count for one probe kind (tests).
+func (m *serverMetrics) simEventTotal(kind string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.simEvents[kind]
+}
+
+// render writes the full Prometheus exposition, combining the metrics'
+// own state with the point-in-time cache, queue, and coalescer figures the
+// Server passes in.
+func (m *serverMetrics) render(w io.Writer, cs cacheStats, queued, running int,
+	rejected, coalesced uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p := &promText{w: w}
+
+	p.labelledCounter("hped_requests_total",
+		"HTTP responses by route and status code.", m.requests, "route_code")
+	p.counter("hped_runs_started_total",
+		"Leader computations started (coalesced waiters excluded).", m.runsStarted)
+	p.counter("hped_runs_completed_total",
+		"Leader computations that ran to completion.", m.runsCompleted)
+	p.counter("hped_runs_cancelled_total",
+		"Leader computations stopped early by cancellation.", m.runsCancelled)
+	p.counter("hped_runs_failed_total",
+		"Leader computations that errored (including recovered panics).", m.runsFailed)
+	p.counter("hped_runs_coalesced_total",
+		"Requests served by joining an identical in-flight computation.", coalesced)
+
+	p.counter("hped_cache_hits_total", "Result-cache hits.", cs.Hits)
+	p.counter("hped_cache_misses_total", "Result-cache misses.", cs.Misses)
+	p.counter("hped_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)
+	p.gauge("hped_cache_bytes", "Bytes of response bodies held by the result cache.", float64(cs.Bytes))
+	p.gauge("hped_cache_entries", "Entries held by the result cache.", float64(cs.Entries))
+
+	p.gauge("hped_queue_depth", "Admitted computations waiting for a worker slot.", float64(queued))
+	p.gauge("hped_running", "Computations currently holding a worker slot.", float64(running))
+	p.counter("hped_queue_rejected_total",
+		"Submissions refused with 429 because the admission queue was full.", rejected)
+
+	p.histogram("hped_cached_hit_latency_seconds",
+		"Latency of responses served from the result cache.", &m.cachedLat, 1e-6)
+	p.histogram("hped_run_latency_seconds",
+		"Latency of single-run simulations (leader computations).", &m.simLat, 1e-6)
+	p.histogram("hped_suite_latency_seconds",
+		"Latency of suite sweeps (leader computations).", &m.suiteLat, 1e-6)
+
+	p.labelledCounter("hped_sim_events_total",
+		"Simulator probe events aggregated across served runs, by kind.", m.simEvents, "kind")
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errQueueFull is returned by admit when the bounded queue is at capacity;
+// handlers translate it into 429 + Retry-After (backpressure, not failure).
+var errQueueFull = errors.New("admission queue full")
+
+// admission is the bounded admission queue in front of the simulation pool:
+// at most `workers` computations run concurrently and at most `depth` more
+// wait their turn. Anything beyond that is rejected immediately — the
+// correct behaviour for a service whose unit of work is minutes of CPU, where
+// unbounded queueing just converts overload into timeout storms.
+type admission struct {
+	tokens   chan struct{} // capacity workers+depth: queued + running
+	slots    chan struct{} // capacity workers: running
+	rejected atomic.Uint64
+}
+
+func newAdmission(workers, depth int) *admission {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &admission{
+		tokens: make(chan struct{}, workers+depth),
+		slots:  make(chan struct{}, workers),
+	}
+}
+
+// admit claims a queue position, then blocks for a worker slot. It returns a
+// release function on success, errQueueFull when the queue is at capacity,
+// or ctx.Err() when the caller gives up while queued.
+func (a *admission) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case a.tokens <- struct{}{}:
+	default:
+		a.rejected.Add(1)
+		return nil, errQueueFull
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() { <-a.slots; <-a.tokens }, nil
+	case <-ctx.Done():
+		<-a.tokens
+		return nil, ctx.Err()
+	}
+}
+
+// Depths reports (queued, running) for the /metrics gauges. The two reads
+// are not atomic with respect to each other; the gauges are advisory.
+func (a *admission) Depths() (queued, running int) {
+	running = len(a.slots)
+	queued = len(a.tokens) - running
+	if queued < 0 {
+		queued = 0
+	}
+	return queued, running
+}
+
+// Rejected returns the number of admissions refused with errQueueFull.
+func (a *admission) Rejected() uint64 { return a.rejected.Load() }

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"hpe"
+	"hpe/internal/experiments"
+)
+
+// RunRequest is the wire form of POST /v1/runs: one (app, policy, rate)
+// simulation plus run-scoped options. The canonicalized form — fields
+// normalized, defaults made explicit — is what the content-addressed run ID
+// hashes, so two requests that mean the same simulation always map to the
+// same ID regardless of spelling ("clock-pro" vs "clockpro", omitted vs
+// explicit defaults).
+type RunRequest struct {
+	// App is the workload abbreviation ("HSD"); case-insensitive on input,
+	// canonicalized to the catalog spelling.
+	App string `json:"app"`
+	// Policy is a registry policy name or alias; canonicalized to the
+	// registry key.
+	Policy string `json:"policy"`
+	// Rate is the oversubscription rate in percent: memory = rate% of the
+	// workload footprint. Must be in (0, 100].
+	Rate int `json:"rate"`
+	// Options are the run-scoped knobs.
+	Options RunOptions `json:"options"`
+}
+
+// RunOptions mirrors the hpesim flags that shape a single run.
+type RunOptions struct {
+	// Seed feeds randomised policies; 0 means the default seed 1.
+	Seed int64 `json:"seed"`
+	// PrefetchPages is the number of extra pages migrated per fault from
+	// the same 64-KB block.
+	PrefetchPages int `json:"prefetch_pages"`
+	// Channels is the number of parallel fault-service channels; 0 means
+	// the paper's default of 1.
+	Channels int `json:"channels"`
+	// Design selects the translation design: "l2tlb" (default) or "pwc".
+	Design string `json:"design"`
+	// DataPath turns on the Table I data-hierarchy model.
+	DataPath bool `json:"datapath"`
+	// MaxCycles aborts a runaway simulation; 0 means unlimited.
+	MaxCycles uint64 `json:"max_cycles"`
+	// Scale multiplies the workload footprint (page sets) for scale studies
+	// beyond the Table II geometries; 0 means the paper's geometry (1).
+	Scale int `json:"scale"`
+}
+
+// normalizeRun canonicalizes a run request in place and returns its
+// content-addressed ID, or a client error describing the first invalid field.
+func normalizeRun(req *RunRequest) (string, error) {
+	app, ok := hpe.WorkloadByAbbr(strings.ToUpper(strings.TrimSpace(req.App)))
+	if !ok {
+		return "", fmt.Errorf("unknown workload %q (GET /v1/apps lists the catalog)", req.App)
+	}
+	req.App = app.Abbr
+	info, ok := hpe.LookupPolicy(strings.TrimSpace(req.Policy))
+	if !ok {
+		return "", fmt.Errorf("unknown policy %q (GET /v1/policies lists the registry)", req.Policy)
+	}
+	req.Policy = info.Name
+	if req.Rate <= 0 || req.Rate > 100 {
+		return "", fmt.Errorf("rate %d out of (0,100]", req.Rate)
+	}
+	if req.Options.Seed == 0 {
+		req.Options.Seed = 1
+	}
+	if req.Options.PrefetchPages < 0 {
+		return "", fmt.Errorf("prefetch_pages %d must be non-negative", req.Options.PrefetchPages)
+	}
+	if req.Options.Channels <= 0 {
+		req.Options.Channels = 1
+	}
+	if req.Options.Scale == 0 {
+		req.Options.Scale = 1
+	}
+	if req.Options.Scale < 1 || req.Options.Scale > 64 {
+		return "", fmt.Errorf("scale %d out of [1,64]", req.Options.Scale)
+	}
+	switch strings.ToLower(strings.TrimSpace(req.Options.Design)) {
+	case "", "l2tlb":
+		req.Options.Design = "l2tlb"
+	case "pwc":
+		req.Options.Design = "pwc"
+	default:
+		return "", fmt.Errorf("unknown translation design %q (l2tlb or pwc)", req.Options.Design)
+	}
+	return contentID("run", req), nil
+}
+
+// SuiteRequest is the wire form of POST /v1/suite: a whole-matrix sweep
+// through the experiment harness. Workers is a scheduling hint and is
+// excluded from the content address — the PR-1 determinism contract makes
+// reports byte-identical at any worker count, so sweeps that differ only in
+// parallelism share one cache entry.
+type SuiteRequest struct {
+	// IDs are the experiment IDs to run; empty means all of them.
+	IDs []string `json:"ids"`
+	// Quick restricts the sweep to the representative 10-app subset.
+	Quick bool `json:"quick"`
+	// Seed feeds randomised policies; 0 means the default seed 1.
+	Seed int64 `json:"seed"`
+	// Workers is a parallelism hint, capped by the server's configured
+	// suite worker count. Not part of the request's identity.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalizeSuite canonicalizes a suite request and returns its
+// content-addressed ID.
+func normalizeSuite(req *SuiteRequest) (string, error) {
+	known := make(map[string]bool)
+	for _, id := range experiments.IDs() {
+		known[id] = true
+	}
+	if len(req.IDs) == 0 {
+		req.IDs = experiments.IDs()
+	}
+	for i, id := range req.IDs {
+		id = strings.TrimSpace(id)
+		if !known[id] {
+			return "", fmt.Errorf("unknown experiment %q", id)
+		}
+		req.IDs[i] = id
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	// The hint must not perturb the hash: hash a copy with Workers zeroed.
+	hashed := *req
+	hashed.Workers = 0
+	hashed.IDs = req.IDs
+	return contentID("suite", &hashed), nil
+}
+
+// contentID derives the deterministic content address of a canonicalized
+// request: kind prefix + the first 16 bytes of the SHA-256 of its canonical
+// JSON. Struct-field order makes the JSON — and therefore the ID — stable
+// across servers and releases that share the request schema.
+func contentID(kind string, req any) string {
+	canon, err := json.Marshal(req)
+	if err != nil {
+		panic(fmt.Sprintf("server: canonical request not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(canon)
+	return kind + "-" + hex.EncodeToString(sum[:16])
+}

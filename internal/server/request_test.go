@@ -1,0 +1,114 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNormalizeRunCanonicalizes checks that requests meaning the same
+// simulation map to the same content address regardless of spelling, and
+// that the normalized form has every default made explicit.
+func TestNormalizeRunCanonicalizes(t *testing.T) {
+	a := RunRequest{App: " hsd ", Policy: "clock-pro", Rate: 75}
+	b := RunRequest{App: "HSD", Policy: "clockpro", Rate: 75,
+		Options: RunOptions{Seed: 1, Channels: 1, Design: "L2TLB", Scale: 1}}
+	idA, err := normalizeRun(&a)
+	if err != nil {
+		t.Fatalf("normalize a: %v", err)
+	}
+	idB, err := normalizeRun(&b)
+	if err != nil {
+		t.Fatalf("normalize b: %v", err)
+	}
+	if idA != idB {
+		t.Errorf("alias spellings hashed differently: %s vs %s", idA, idB)
+	}
+	if !strings.HasPrefix(idA, "run-") {
+		t.Errorf("run ID %q lacks kind prefix", idA)
+	}
+	if a.App != "HSD" || a.Policy != b.Policy {
+		t.Errorf("canonical form not rewritten in place: %+v", a)
+	}
+	if a.Options.Seed != 1 || a.Options.Channels != 1 || a.Options.Design != "l2tlb" || a.Options.Scale != 1 {
+		t.Errorf("defaults not made explicit: %+v", a.Options)
+	}
+
+	c := RunRequest{App: "HSD", Policy: "clock-pro", Rate: 50}
+	idC, err := normalizeRun(&c)
+	if err != nil {
+		t.Fatalf("normalize c: %v", err)
+	}
+	if idC == idA {
+		t.Errorf("different rates share a content address")
+	}
+}
+
+func TestNormalizeRunRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		req  RunRequest
+	}{
+		{"unknown app", RunRequest{App: "NOPE", Policy: "lru", Rate: 50}},
+		{"unknown policy", RunRequest{App: "HSD", Policy: "magic", Rate: 50}},
+		{"rate zero", RunRequest{App: "HSD", Policy: "lru", Rate: 0}},
+		{"rate over 100", RunRequest{App: "HSD", Policy: "lru", Rate: 101}},
+		{"negative prefetch", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
+			Options: RunOptions{PrefetchPages: -1}}},
+		{"bad design", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
+			Options: RunOptions{Design: "tlbless"}}},
+		{"scale too large", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
+			Options: RunOptions{Scale: 65}}},
+		{"negative scale", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
+			Options: RunOptions{Scale: -2}}},
+	}
+	for _, tc := range cases {
+		req := tc.req
+		if _, err := normalizeRun(&req); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.req)
+		}
+	}
+}
+
+// TestNormalizeSuiteWorkersHintExcluded checks the PR-1 determinism contract
+// is reflected in the content address: sweeps differing only in the
+// parallelism hint share one ID (and therefore one cache entry).
+func TestNormalizeSuiteWorkersHintExcluded(t *testing.T) {
+	a := SuiteRequest{IDs: []string{"fig10"}, Quick: true, Workers: 1}
+	b := SuiteRequest{IDs: []string{"fig10"}, Quick: true, Workers: 8}
+	idA, err := normalizeSuite(&a)
+	if err != nil {
+		t.Fatalf("normalize a: %v", err)
+	}
+	idB, err := normalizeSuite(&b)
+	if err != nil {
+		t.Fatalf("normalize b: %v", err)
+	}
+	if idA != idB {
+		t.Errorf("workers hint perturbed the content address: %s vs %s", idA, idB)
+	}
+	if a.Seed != 1 {
+		t.Errorf("default seed not made explicit: %+v", a)
+	}
+
+	c := SuiteRequest{IDs: []string{"fig10"}, Quick: false}
+	idC, err := normalizeSuite(&c)
+	if err != nil {
+		t.Fatalf("normalize c: %v", err)
+	}
+	if idC == idA {
+		t.Errorf("quick and full sweeps share a content address")
+	}
+
+	d := SuiteRequest{IDs: []string{"fig99"}}
+	if _, err := normalizeSuite(&d); err == nil {
+		t.Errorf("unknown experiment accepted")
+	}
+
+	e := SuiteRequest{}
+	if _, err := normalizeSuite(&e); err != nil {
+		t.Fatalf("empty IDs (meaning all): %v", err)
+	}
+	if len(e.IDs) == 0 {
+		t.Errorf("empty IDs not expanded to the full catalog")
+	}
+}

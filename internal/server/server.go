@@ -1,0 +1,532 @@
+// Package server implements hped's serving core: the paper's simulator
+// exposed as a long-running HTTP/JSON service. The serving triad —
+// singleflight request coalescing, a content-addressed LRU result cache,
+// and a bounded admission queue with backpressure — turns minutes of
+// re-simulation into microsecond cache hits for the (app × policy ×
+// oversubscription-rate) grids the related oversubscription-management
+// literature sweeps, while context plumbing down to the event loop makes
+// client disconnects, per-request timeouts, and graceful shutdown actually
+// stop simulation work.
+//
+// Endpoints:
+//
+//	POST /v1/runs        submit a {app, policy, rate, options} run
+//	GET  /v1/runs/{id}   result (from cache) or in-flight status
+//	POST /v1/suite       whole-matrix sweep through the experiment harness
+//	GET  /v1/policies    the eviction-policy registry
+//	GET  /v1/apps        the Table II workload catalog
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        Prometheus text exposition
+//
+// Run IDs are content addresses of the canonicalized request, so identical
+// requests — across clients, across restarts, across replicas — share one ID,
+// one simulation, and one cache entry, and byte-identical bodies are
+// guaranteed by the simulator's determinism contract.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"hpe"
+	"hpe/internal/gpu"
+	"hpe/internal/sim"
+	"hpe/internal/workload"
+)
+
+// Config sizes the daemon.
+type Config struct {
+	// Workers is the number of concurrent simulations; defaults to
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth is how many admitted computations may wait beyond the
+	// running ones before submissions get 429; defaults to 4×Workers.
+	QueueDepth int
+	// CacheBytes is the result cache's byte budget; defaults to 256 MiB.
+	// Negative disables caching.
+	CacheBytes int64
+	// SuiteWorkers caps the parallelism of one /v1/suite sweep; defaults
+	// to Workers.
+	SuiteWorkers int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+	if c.SuiteWorkers <= 0 {
+		c.SuiteWorkers = c.Workers
+	}
+}
+
+// Server is the serving core. Construct with New; it is safe for concurrent
+// use and is wired into an http.Server via Handler.
+type Server struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	cache      *resultCache
+	co         *coalescer
+	adm        *admission
+	met        *serverMetrics
+	mux        *http.ServeMux
+	draining   chan struct{} // closed by Drain
+	drainOnce  sync.Once
+
+	traceMu sync.Mutex
+	traces  map[string]*traceEntry
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *hpe.Trace
+}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		cache:      newResultCache(cfg.CacheBytes),
+		co:         newCoalescer(),
+		adm:        newAdmission(cfg.Workers, cfg.QueueDepth),
+		met:        newServerMetrics(),
+		draining:   make(chan struct{}),
+		traces:     make(map[string]*traceEntry),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("POST /v1/suite", s.handleSuite)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into draining mode: health checks fail (so load
+// balancers stop routing here) and new submissions are refused with 503,
+// while requests already in flight run to completion.
+func (s *Server) Drain() { s.drainOnce.Do(func() { close(s.draining) }) }
+
+// isDraining reports whether Drain has been called.
+func (s *Server) isDraining() bool {
+	select {
+	case <-s.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains the server, cancels every computation still running (their
+// engines stop at the next cancellation poll), and returns a final stats
+// summary for logging — the flush-on-shutdown line.
+func (s *Server) Close() string {
+	s.Drain()
+	s.baseCancel()
+	cs := s.cache.Stats()
+	queued, running := s.adm.Depths()
+	return fmt.Sprintf(
+		"cache: %d entries, %d/%d bytes, %d hits, %d misses, %d evictions; coalesced %d, rejected %d, queued %d, running %d",
+		cs.Entries, cs.Bytes, cs.Budget, cs.Hits, cs.Misses, cs.Evictions,
+		s.co.Coalesced(), s.adm.Rejected(), queued, running)
+}
+
+// logf logs through the configured sink.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// --- response plumbing ---------------------------------------------------
+
+// statusClientGone is nginx's convention for "client closed request"; the
+// client is not listening, but the code keeps the metrics honest.
+const statusClientGone = 499
+
+func (s *Server) writeBody(w http.ResponseWriter, route string, code int, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if source != "" {
+		w.Header().Set("X-Hped-Source", source)
+	}
+	w.WriteHeader(code)
+	w.Write(body)
+	s.met.observeRequest(route, code)
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, route string, code int, msg string) {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	s.writeBody(w, route, code, "", append(body, '\n'))
+}
+
+// decodeJSON reads a bounded request body with unknown fields rejected —
+// a typoed option silently dropped would alias distinct requests onto one
+// content address.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// --- run submission ------------------------------------------------------
+
+// runResponse is the body of a completed run: the ID, the canonicalized
+// request it addresses, and the full simulation result.
+type runResponse struct {
+	ID      string     `json:"id"`
+	Request RunRequest `json:"request"`
+	Result  hpe.Result `json:"result"`
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	const route = "run_submit"
+	if s.isDraining() {
+		s.writeErr(w, route, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeErr(w, route, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	id, err := normalizeRun(&req)
+	if err != nil {
+		s.writeErr(w, route, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.serveComputed(w, r, route, id, false, func(ctx context.Context) ([]byte, error) {
+		return s.simulateRun(ctx, req, id)
+	})
+}
+
+// serveComputed is the shared cache → coalesce → admit → compute path for
+// runs and suite sweeps.
+func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route, id string,
+	suite bool, compute func(context.Context) ([]byte, error)) {
+	start := time.Now()
+	if body, ok := s.cache.Get(id); ok {
+		s.met.observeCachedHit(time.Since(start))
+		s.writeBody(w, route, http.StatusOK, "cache", body)
+		return
+	}
+	body, coalesced, err := s.co.do(r.Context(), s.baseCtx, id, func(ctx context.Context) ([]byte, error) {
+		release, err := s.adm.admit(ctx)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		s.met.runStarted()
+		t0 := time.Now()
+		body, err := compute(ctx)
+		s.met.runFinished(time.Since(t0), err, suite)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(id, body)
+		return body, nil
+	})
+	source := "simulate"
+	if coalesced {
+		source = "coalesce"
+	}
+	switch {
+	case err == nil:
+		s.writeBody(w, route, http.StatusOK, source, body)
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		s.writeErr(w, route, http.StatusTooManyRequests, "admission queue full; retry shortly")
+	case r.Context().Err() != nil:
+		// The client went away; nobody reads this, but the metrics do.
+		s.writeErr(w, route, statusClientGone, "client disconnected")
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.writeErr(w, route, http.StatusServiceUnavailable, "computation cancelled: "+err.Error())
+	default:
+		s.logf("hped: %s %s failed: %v", route, id, err)
+		s.writeErr(w, route, http.StatusInternalServerError, "computation failed: "+err.Error())
+	}
+}
+
+// trace returns the app's canonical trace, generated once per server
+// lifetime (traces are deterministic and immutable once the lazy footprint
+// is primed). Scaled variants of an app get their own entries.
+func (s *Server) trace(app hpe.App) *hpe.Trace {
+	key := fmt.Sprintf("%s/%d", app.Abbr, app.Sets)
+	s.traceMu.Lock()
+	e, ok := s.traces[key]
+	if !ok {
+		e = &traceEntry{}
+		s.traces[key] = e
+	}
+	s.traceMu.Unlock()
+	e.once.Do(func() {
+		tr := app.Generate()
+		tr.Footprint()
+		e.tr = tr
+	})
+	return e.tr
+}
+
+// simulateRun executes one canonicalized run request under ctx and renders
+// its response body. Cancelled (partial) results are reported as errors and
+// never rendered or cached.
+func (s *Server) simulateRun(ctx context.Context, req RunRequest, id string) ([]byte, error) {
+	app, ok := hpe.WorkloadByAbbr(req.App)
+	if !ok {
+		return nil, fmt.Errorf("workload %q vanished from the catalog", req.App)
+	}
+	app = app.Scaled(req.Options.Scale)
+	tr := s.trace(app)
+	capacity := int(math.Ceil(float64(tr.Footprint()) * float64(req.Rate) / 100))
+	if capacity < 1 {
+		capacity = 1
+	}
+	cfg := hpe.SystemConfig(capacity)
+	if app.ComputeGap > 0 {
+		cfg.ComputeGap = sim.Cycle(app.ComputeGap)
+	}
+	cfg.Driver.PrefetchPages = req.Options.PrefetchPages
+	cfg.Driver.Channels = req.Options.Channels
+	cfg.ModelDataPath = req.Options.DataPath
+	cfg.MaxCycles = sim.Cycle(req.Options.MaxCycles)
+	if req.Options.Design == "pwc" {
+		cfg.Translation = gpu.DesignPWC
+	}
+	popts := []hpe.PolicyOption{
+		hpe.WithPolicySeed(req.Options.Seed),
+		hpe.WithCapacity(capacity),
+		hpe.WithTrace(tr),
+	}
+	if app.Pattern == workload.PatternThrashing {
+		popts = append(popts, hpe.WithThrashingRRIP())
+	}
+	pol, err := hpe.NewPolicy(req.Policy, popts...)
+	if err != nil {
+		return nil, err
+	}
+	m := hpe.NewMetricsProbe()
+	ropts := []hpe.RunOption{hpe.WithContext(ctx), hpe.WithProbe(m)}
+	if info, ok := hpe.LookupPolicy(req.Policy); ok && info.NeedsHIR {
+		ropts = append(ropts, hpe.WithHIR())
+	}
+	res := hpe.Simulate(cfg, tr, pol, ropts...)
+	s.met.mergeProbe(res.Probe)
+	if res.Cancelled {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	body, err := json.Marshal(runResponse{ID: id, Request: req, Result: res})
+	if err != nil {
+		return nil, fmt.Errorf("render result: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// --- run status ----------------------------------------------------------
+
+func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	const route = "run_get"
+	id := r.PathValue("id")
+	if body, ok := s.cache.Get(id); ok {
+		s.writeBody(w, route, http.StatusOK, "cache", body)
+		return
+	}
+	if waiters, running := s.co.inflight(id); running {
+		body, _ := json.Marshal(map[string]any{"id": id, "status": "running", "waiters": waiters})
+		s.writeBody(w, route, http.StatusAccepted, "", append(body, '\n'))
+		return
+	}
+	s.writeErr(w, route, http.StatusNotFound,
+		"unknown run id (results live in an LRU cache; re-POST the request to recompute)")
+}
+
+// --- suite sweeps --------------------------------------------------------
+
+// suiteReport is one experiment's JSON form. Metrics that JSON cannot carry
+// are clamped (±Inf → ±MaxFloat64) or dropped (NaN) with the rewrite
+// recorded in Clamped, mirroring hpebench -json.
+type suiteReport struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Text    string             `json:"text"`
+	Metrics map[string]float64 `json:"metrics"`
+	Clamped map[string]string  `json:"clamped,omitempty"`
+}
+
+type suiteResponse struct {
+	ID      string        `json:"id"`
+	Request SuiteRequest  `json:"request"`
+	Reports []suiteReport `json:"reports"`
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	const route = "suite_submit"
+	if s.isDraining() {
+		s.writeErr(w, route, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	var req SuiteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeErr(w, route, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	id, err := normalizeSuite(&req)
+	if err != nil {
+		s.writeErr(w, route, http.StatusBadRequest, err.Error())
+		return
+	}
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.SuiteWorkers {
+		workers = s.cfg.SuiteWorkers
+	}
+	req.Workers = 0 // scheduling hint: kept out of the cached body
+	s.serveComputed(w, r, route, id, true, func(ctx context.Context) ([]byte, error) {
+		return s.sweepSuite(ctx, req, id, workers)
+	})
+}
+
+// sweepSuite runs a whole-matrix sweep through the experiment harness,
+// sharded across the PR-1 worker pool under the request's context.
+func (s *Server) sweepSuite(ctx context.Context, req SuiteRequest, id string, workers int) ([]byte, error) {
+	suite := hpe.NewSuite(hpe.SuiteOptions{
+		Quick:   req.Quick,
+		Seed:    req.Seed,
+		Workers: workers,
+		Context: ctx,
+	})
+	reports, err := suite.Reports(req.IDs)
+	if err != nil {
+		return nil, err
+	}
+	out := suiteResponse{ID: id, Request: req, Reports: make([]suiteReport, len(reports))}
+	for i, rep := range reports {
+		metrics, clamped := clampMetrics(rep.Metrics)
+		out.Reports[i] = suiteReport{ID: rep.ID, Title: rep.Title, Text: rep.Text,
+			Metrics: metrics, Clamped: clamped}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("render reports: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
+// clampMetrics rewrites values JSON cannot carry, recording every rewrite.
+func clampMetrics(in map[string]float64) (map[string]float64, map[string]string) {
+	metrics := make(map[string]float64, len(in))
+	var clamped map[string]string
+	note := func(k, why string) {
+		if clamped == nil {
+			clamped = make(map[string]string)
+		}
+		clamped[k] = why
+	}
+	for k, v := range in {
+		switch {
+		case math.IsNaN(v):
+			note(k, "NaN: dropped")
+			continue
+		case math.IsInf(v, 1):
+			note(k, "+Inf: clamped to +MaxFloat64")
+			v = math.MaxFloat64
+		case math.IsInf(v, -1):
+			note(k, "-Inf: clamped to -MaxFloat64")
+			v = -math.MaxFloat64
+		}
+		metrics[k] = v
+	}
+	return metrics, clamped
+}
+
+// --- catalog endpoints ---------------------------------------------------
+
+type policyJSON struct {
+	Name          string   `json:"name"`
+	Display       string   `json:"display"`
+	Description   string   `json:"description"`
+	Aliases       []string `json:"aliases,omitempty"`
+	NeedsCapacity bool     `json:"needs_capacity,omitempty"`
+	NeedsTrace    bool     `json:"needs_trace,omitempty"`
+	NeedsHIR      bool     `json:"needs_hir,omitempty"`
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	infos := hpe.Policies()
+	out := make([]policyJSON, len(infos))
+	for i, info := range infos {
+		out[i] = policyJSON{Name: info.Name, Display: info.Display,
+			Description: info.Description, Aliases: info.Aliases,
+			NeedsCapacity: info.NeedsCapacity, NeedsTrace: info.NeedsTrace,
+			NeedsHIR: info.NeedsHIR}
+	}
+	body, _ := json.Marshal(out)
+	s.writeBody(w, "policies", http.StatusOK, "", append(body, '\n'))
+}
+
+type appJSON struct {
+	Name           string `json:"name"`
+	Abbr           string `json:"abbr"`
+	Suite          string `json:"suite"`
+	Pattern        string `json:"pattern"`
+	Pages          int    `json:"pages"`
+	FootprintBytes uint64 `json:"footprint_bytes"`
+	ComputeGap     int    `json:"compute_gap"`
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	apps := hpe.Workloads()
+	out := make([]appJSON, len(apps))
+	for i, a := range apps {
+		out[i] = appJSON{Name: a.Name, Abbr: a.Abbr, Suite: a.Suite,
+			Pattern: a.Pattern.String(), Pages: a.Pages(),
+			FootprintBytes: a.FootprintBytes(), ComputeGap: a.ComputeGap}
+	}
+	body, _ := json.Marshal(out)
+	s.writeBody(w, "apps", http.StatusOK, "", append(body, '\n'))
+}
+
+// --- health and metrics --------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		s.writeErr(w, "healthz", http.StatusServiceUnavailable, "draining")
+		return
+	}
+	s.writeBody(w, "healthz", http.StatusOK, "", []byte("{\"status\":\"ok\"}\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	queued, running := s.adm.Depths()
+	s.met.render(w, s.cache.Stats(), queued, running, s.adm.Rejected(), s.co.Coalesced())
+	s.met.observeRequest("metrics", http.StatusOK)
+}

@@ -1,0 +1,225 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoak drives a 4-worker daemon with a saturation burst plus 500 mixed
+// requests and checks the serving invariants hold under load: every response
+// is an expected status, backpressure produces 429s instead of unbounded
+// queueing, the mix is dominated by cache hits, and — after the server shuts
+// down — no goroutines have leaked. The p99 cached-hit latency is recovered
+// from the /metrics histogram the way an operator would read it.
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	srv := New(Config{Workers: 4, QueueDepth: 8})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+	client.Transport.(*http.Transport).MaxIdleConnsPerHost = 64
+
+	post := func(path, body string) (int, error) {
+		resp, err := client.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, nil
+	}
+
+	// Phase 1 — saturation burst: 32 distinct computations against 4 workers
+	// and 8 queue slots. At most 12 can be queued-or-running at once, so with
+	// all 32 in flight simultaneously the admission queue must reject some.
+	var (
+		burstWG  sync.WaitGroup
+		rejected atomic.Uint64
+		start    = make(chan struct{})
+	)
+	for i := 0; i < 32; i++ {
+		burstWG.Add(1)
+		go func(i int) {
+			defer burstWG.Done()
+			body := fmt.Sprintf(`{"app":"BFS","policy":"lru","rate":%d,"options":{"scale":2}}`, 40+i)
+			<-start
+			code, err := post("/v1/runs", body)
+			if err != nil {
+				t.Errorf("burst %d: %v", i, err)
+				return
+			}
+			switch code {
+			case http.StatusOK:
+			case http.StatusTooManyRequests:
+				rejected.Add(1)
+			default:
+				t.Errorf("burst %d: unexpected status %d", i, code)
+			}
+		}(i)
+	}
+	close(start)
+	burstWG.Wait()
+	if rejected.Load() == 0 {
+		t.Errorf("32 concurrent distinct runs against capacity 12 produced no 429s")
+	}
+	t.Logf("burst: %d/32 rejected with 429", rejected.Load())
+
+	// Phase 2 — 500 mixed requests from 16 clients: mostly repeats of a
+	// small working set (cache hits after first computation), plus status
+	// reads, catalog reads, and invalid submissions.
+	workingSet := []string{
+		`{"app":"KMN","policy":"lru","rate":50}`,
+		`{"app":"KMN","policy":"hpe","rate":75}`,
+		`{"app":"NW","policy":"lru","rate":50}`,
+		`{"app":"MVT","policy":"random","rate":75}`,
+		`{"app":"STN","policy":"hpe","rate":50}`,
+		`{"app":"B+T","policy":"fifo","rate":75}`,
+	}
+	const total = 500
+	var (
+		mixWG sync.WaitGroup
+		codes [16]map[int]int
+	)
+	for w := 0; w < 16; w++ {
+		mixWG.Add(1)
+		go func(w int) {
+			defer mixWG.Done()
+			codes[w] = make(map[int]int)
+			for i := w; i < total; i += 16 {
+				var code int
+				var err error
+				switch {
+				case i%29 == 0: // sprinkle of invalid requests
+					code, err = post("/v1/runs", `{"app":"NOPE","policy":"lru","rate":50}`)
+				case i%13 == 0: // status / catalog reads
+					resp, gerr := client.Get(ts.URL + "/v1/policies")
+					if gerr == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						code = resp.StatusCode
+					}
+					err = gerr
+				default:
+					code, err = post("/v1/runs", workingSet[i%len(workingSet)])
+				}
+				if err != nil {
+					t.Errorf("worker %d req %d: %v", w, i, err)
+					return
+				}
+				codes[w][code]++
+			}
+		}(w)
+	}
+	mixWG.Wait()
+
+	seen := make(map[int]int)
+	for _, m := range codes {
+		for code, n := range m {
+			seen[code] += n
+		}
+	}
+	for code := range seen {
+		switch code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusTooManyRequests:
+		default:
+			t.Errorf("unexpected status %d under load (%d times)", code, seen[code])
+		}
+	}
+	t.Logf("mixed phase codes: %v", seen)
+
+	cs := srv.cache.Stats()
+	if cs.Hits == 0 {
+		t.Errorf("soak produced no cache hits: %+v", cs)
+	}
+
+	// p99 cached-hit latency, read from the exposition like an operator.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	p99, count := histogramQuantile(t, string(text), "hped_cached_hit_latency_seconds", 0.99)
+	if count == 0 {
+		t.Errorf("cached-hit latency histogram is empty after a soak full of hits")
+	}
+	t.Logf("cached-hit latency: p99 <= %gs over %d hits", p99, count)
+
+	// Shutdown, then verify nothing leaked: every handler, waiter, and
+	// detached computation goroutine must be gone.
+	ts.Close()
+	t.Log(srv.Close())
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC() // flush idle connection goroutines promptly
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d at start, %d after shutdown\n%s", baseline, now, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// histogramQuantile recovers an upper bound for the q-quantile from the
+// Prometheus text exposition's cumulative buckets of the named histogram.
+func histogramQuantile(t *testing.T, text, name string, q float64) (upper float64, count uint64) {
+	t.Helper()
+	prefix := name + `_bucket{le="`
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bucket
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, prefix) {
+			continue
+		}
+		rest := line[len(prefix):]
+		end := strings.Index(rest, `"} `)
+		if end < 0 {
+			t.Fatalf("malformed bucket line %q", line)
+		}
+		leStr, cumStr := rest[:end], rest[end+3:]
+		cum, err := strconv.ParseUint(cumStr, 10, 64)
+		if err != nil {
+			t.Fatalf("bucket count in %q: %v", line, err)
+		}
+		if leStr == "+Inf" {
+			count = cum
+			buckets = append(buckets, bucket{le: -1, cum: cum})
+			continue
+		}
+		le, err := strconv.ParseFloat(leStr, 64)
+		if err != nil {
+			t.Fatalf("bucket bound in %q: %v", line, err)
+		}
+		buckets = append(buckets, bucket{le: le, cum: cum})
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	target := uint64(q * float64(count))
+	for _, b := range buckets {
+		if b.le >= 0 && b.cum > target {
+			return b.le, count
+		}
+	}
+	return -1, count // only the +Inf bucket covers the quantile
+}

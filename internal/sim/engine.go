@@ -59,6 +59,15 @@ type Engine struct {
 	queue   eventHeap
 	fired   uint64
 	limit   Cycle // 0 means no limit
+
+	// Cancellation: poll is consulted once every pollEvery fired events (a
+	// single decrement + compare on the hot path), so an external signal —
+	// a context, a client disconnect — can stop a run without the engine
+	// importing context or the callers paying a per-event check.
+	poll      func() bool
+	pollEvery uint64
+	pollLeft  uint64
+	cancelled bool
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -79,6 +88,25 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // firing) events scheduled after the limit. A limit of 0 removes the ceiling.
 func (e *Engine) SetLimit(limit Cycle) { e.limit = limit }
 
+// SetCancel installs a cancellation poll, consulted once every `every` fired
+// events. When poll returns true the engine stops firing events permanently
+// and Cancelled reports true. A nil poll (or every == 0) removes the hook.
+// The poll must be cheap and must not mutate simulation state; determinism
+// is unaffected for runs that are never cancelled, and a cancelled run stops
+// at an event boundary, so partial results remain internally consistent.
+func (e *Engine) SetCancel(every uint64, poll func() bool) {
+	if poll == nil || every == 0 {
+		e.poll, e.pollEvery, e.pollLeft = nil, 0, 0
+		return
+	}
+	e.poll = poll
+	e.pollEvery = every
+	e.pollLeft = every
+}
+
+// Cancelled reports whether a cancellation poll stopped the engine.
+func (e *Engine) Cancelled() bool { return e.cancelled }
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the past
 // (before Now) is an error and panics: it would silently reorder causality.
 func (e *Engine) At(at Cycle, fn func()) {
@@ -98,8 +126,18 @@ func (e *Engine) After(delay Cycle, fn func()) {
 // Step fires the next event, advancing the clock to its timestamp. It
 // returns false when no events remain or the next event lies past the limit.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.cancelled || len(e.queue) == 0 {
 		return false
+	}
+	if e.poll != nil {
+		e.pollLeft--
+		if e.pollLeft == 0 {
+			e.pollLeft = e.pollEvery
+			if e.poll() {
+				e.cancelled = true
+				return false
+			}
+		}
 	}
 	next := e.queue[0]
 	if e.limit != 0 && next.at > e.limit {

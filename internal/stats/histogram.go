@@ -35,6 +35,26 @@ func (h *Histogram) Observe(v uint64) {
 // Count returns the number of observed samples.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Buckets invokes fn for each nonzero bucket in ascending order with the
+// bucket's inclusive upper bound and its count. Bucket b covers samples of
+// bit length b, so the upper bounds run 0, 1, 3, 7, 15, …. Exporters (e.g.
+// the Prometheus text encoder) accumulate the counts into cumulative form.
+func (h *Histogram) Buckets(fn func(upper, count uint64)) {
+	for b, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		upper := uint64(0)
+		if b > 0 {
+			upper = 1<<uint(b) - 1
+		}
+		fn(upper, n)
+	}
+}
+
 // HistogramSnapshot is an immutable summary of a Histogram. Quantiles are
 // bucket-resolution upper bounds (exact to within a factor of two), clamped
 // to the observed maximum, which keeps them deterministic and cheap.

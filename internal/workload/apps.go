@@ -61,6 +61,19 @@ func (a App) Generate() *trace.Trace {
 	return b.Build(a.Abbr)
 }
 
+// Scaled returns a copy of the app with its footprint multiplied by the
+// given factor: more page sets driven through the same generator, so the
+// access pattern class is preserved while the reference string grows
+// roughly linearly. The serving layer exposes this for scale studies
+// beyond the paper's Table II geometries. Factors below 2 return the app
+// unchanged.
+func (a App) Scaled(scale int) App {
+	if scale > 1 {
+		a.Sets *= scale
+	}
+	return a
+}
+
 // GenerateWithGeometry builds the reference string under a non-default
 // page-set geometry (used by the Fig. 7 page-set-size sensitivity study; the
 // footprint in pages is preserved).

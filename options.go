@@ -1,6 +1,7 @@
 package hpe
 
 import (
+	"context"
 	"io"
 
 	"hpe/internal/policy"
@@ -50,6 +51,7 @@ type runConfig struct {
 	probes []probe.Probe
 	seed   *int64
 	useHIR bool
+	ctx    context.Context
 }
 
 // RunOption customises one simulation or replay run. Options are run-scoped
@@ -80,6 +82,15 @@ func WithSeed(seed int64) RunOption {
 // hits through it — the production HPE configuration. SimulateHPE implies it.
 func WithHIR() RunOption {
 	return func(rc *runConfig) { rc.useHIR = true }
+}
+
+// WithContext ties the run to ctx: the simulation polls for cancellation
+// every few thousand events and stops early when ctx is done, marking the
+// result Cancelled. This is how servers abort work for disconnected clients
+// and how the CLIs honour Ctrl-C. A never-cancellable context (Background)
+// keeps the exact unpolled fast path.
+func WithContext(ctx context.Context) RunOption {
+	return func(rc *runConfig) { rc.ctx = ctx }
 }
 
 // apply folds the options and prepares the composed probe (nil when none).
