@@ -1,15 +1,16 @@
 # Developer entry points for the checks ROADMAP.md requires before merging.
 # `make check` is the full pre-merge gate: tier-1 (build + test), static
-# analysis, the race-detector subset over the suite's shared-cache paths,
-# and the fuzz seed corpus.
+# analysis (go vet + hpelint), the race-detector subsets over the suite's
+# shared-cache paths, the probe hot path and the serving layer, and the
+# fuzz seed corpus. One command reproduces everything CI would ask for.
 
 GO ?= go
 
-.PHONY: all check build test vet race serve-check fuzz-seed bench bench-probe clean
+.PHONY: all check build test vet lint race race-probe serve-check fuzz-seed bench bench-probe clean
 
 all: check
 
-check: build vet test race serve-check fuzz-seed
+check: build vet lint test race race-probe serve-check fuzz-seed
 
 # Tier-1 verify (ROADMAP.md).
 build:
@@ -21,9 +22,21 @@ test:
 vet:
 	$(GO) vet ./...
 
+# hpelint machine-checks the repo's load-bearing invariants (DESIGN.md §10):
+# determinism, map-order hygiene, probe nil-guards, context threading, and
+# lock discipline. Exit 1 means a finding; fix it or annotate the line above
+# with `//lint:ignore hpelint/<analyzer> reason`.
+lint:
+	$(GO) build ./cmd/hpelint && ./hpelint ./...
+
 # The experiment suite's shared-cache paths under the race detector (~35 s).
 race:
 	$(GO) test -race -run 'Concurrent|Dedup|RunPool' ./internal/experiments/
+
+# The probe hot path under the race detector: emission sites, Chrome-trace
+# streaming, and probed-vs-unprobed determinism.
+race-probe:
+	$(GO) test -race -run 'Probe|Trace' ./internal/probe/ ./internal/gpu/
 
 # The hped serving layer under the race detector: coalescer, result cache,
 # admission queue, cancellation, the soak test, and the daemon's SIGTERM
@@ -48,4 +61,5 @@ bench-probe:
 	$(GO) test -run '^$$' -bench 'BenchmarkNilProbe|BenchmarkMetricsProbe' -benchtime=5x -count=3 .
 
 clean:
+	rm -f hpelint
 	$(GO) clean ./...

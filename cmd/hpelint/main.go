@@ -1,0 +1,138 @@
+// Command hpelint machine-checks the invariants this repository's serving
+// and caching layers depend on: byte-reproducible simulation output,
+// nil-guarded probe emission sites, end-to-end context threading, and
+// documented lock discipline. It is a hand-rolled, stdlib-only multichecker
+// (go/ast + go/parser + go/types; go.mod keeps zero external requirements).
+//
+// Usage:
+//
+//	hpelint [-json] [-only name,name] [-list] [packages...]
+//
+// With no packages, ./... is checked. Exit codes are CI-friendly:
+//
+//	0  no findings
+//	1  at least one diagnostic
+//	2  usage, load or type-check failure
+//
+// Deliberate exceptions are annotated in source, one line above the
+// finding, with a mandatory reason:
+//
+//	//lint:ignore hpelint/<analyzer> reason
+//
+// The -json schema is documented in DESIGN.md §10 (the daemon's repo-health
+// endpoint consumes it): {"version":1,"analyzers":[...],"count":N,
+// "diagnostics":[{"analyzer","file","line","col","message"}]}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpe/internal/lint"
+)
+
+// jsonReport is the versioned -json output envelope.
+type jsonReport struct {
+	Version     int              `json:"version"`
+	Analyzers   []string         `json:"analyzers"`
+	Count       int              `json:"count"`
+	Diagnostics []jsonDiagnostic `json:"diagnostics"`
+}
+
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("hpelint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (schema in DESIGN.md §10)")
+	only := fs.String("only", "", "comma-separated analyzer subset to run")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*only, ","))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hpelint:", err)
+			return 2
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpelint:", err)
+		return 2
+	}
+	diags, err := lint.Run(wd, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hpelint:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		rep := jsonReport{
+			Version:     1,
+			Analyzers:   names(analyzers),
+			Count:       len(diags),
+			Diagnostics: []jsonDiagnostic{},
+		}
+		for _, d := range diags {
+			rep.Diagnostics = append(rep.Diagnostics, jsonDiagnostic{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "hpelint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// names projects the analyzer list to its name column.
+func names(as []*lint.Analyzer) []string {
+	out := make([]string, 0, len(as))
+	for _, a := range as {
+		out = append(out, a.Name)
+	}
+	return out
+}

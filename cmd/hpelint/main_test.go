@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestListExitsClean pins -list as a zero-cost smoke of the CLI wiring.
+func TestListExitsClean(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Errorf("hpelint -list exited %d, want 0", code)
+	}
+}
+
+// TestUnknownAnalyzerIsUsageError pins exit code 2 for bad -only input.
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	if code := run([]string{"-only", "bogus"}); code != 2 {
+		t.Errorf("hpelint -only bogus exited %d, want 2", code)
+	}
+}
+
+// TestSelfCheckProbePackage runs the real driver over a burned-down
+// package: exit 0, no findings.
+func TestSelfCheckProbePackage(t *testing.T) {
+	if code := run([]string{"../../internal/probe/"}); code != 0 {
+		t.Errorf("hpelint ../../internal/probe/ exited %d, want 0", code)
+	}
+}

@@ -144,6 +144,7 @@ func Replay(tr *Trace, pol Policy, capacityPages int, opts ...RunOption) ReplayR
 	rc, pr := applyRunOptions(pol, opts)
 	ctx := rc.ctx
 	if ctx == nil {
+		//lint:ignore hpelint/ctxflow omitting WithContext means "not cancellable" by documented contract; Background keeps the unpolled fast path
 		ctx = context.Background()
 	}
 	r := policy.ReplayContext(ctx, tr, pol, capacityPages, pr)

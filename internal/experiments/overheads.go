@@ -84,8 +84,10 @@ func measureClassification(sets int) float64 {
 				h.OnMapped(p, 0)
 			}
 		}
+		//lint:ignore hpelint/determinism Table VI measures real wall-clock software overhead; the figure is labelled best-of-N and never feeds golden output
 		start := time.Now()
 		h.SelectVictim() // triggers the one-time classification
+		//lint:ignore hpelint/determinism wall-clock pairing for the Table VI overhead measurement above
 		if d := time.Since(start); d < best {
 			best = d
 		}
@@ -113,8 +115,10 @@ func measureChainUpdate(sets, records int) float64 {
 	}
 	best := time.Duration(1 << 62)
 	for trial := 0; trial < 7; trial++ {
+		//lint:ignore hpelint/determinism Table VI measures real wall-clock software overhead; the figure is labelled best-of-N and never feeds golden output
 		start := time.Now()
 		h.OnHitBatch(recs)
+		//lint:ignore hpelint/determinism wall-clock pairing for the Table VI overhead measurement above
 		if d := time.Since(start); d < best {
 			best = d
 		}

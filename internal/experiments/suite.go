@@ -202,6 +202,7 @@ func (s *Suite) ctx() context.Context {
 	if s.opts.Context != nil {
 		return s.opts.Context
 	}
+	//lint:ignore hpelint/ctxflow nil Options.Context means "not cancellable" by documented contract; Background keeps the unpolled fast path
 	return context.Background()
 }
 

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// inspectWithStack walks every file, calling fn with each node and the stack
+// of its ancestors (outermost first, not including n itself). Returning
+// false prunes the subtree.
+func inspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if !fn(n, stack) {
+				return false
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// flattenPath renders an expression made only of identifiers and field
+// selections ("p", "d.probe", "s.cache.mu") as its textual path. Anything
+// else — calls, indexing, dereferences other than implicit ones — is not a
+// stable path and returns ok=false.
+func flattenPath(e ast.Expr) (string, bool) {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name, true
+	case *ast.SelectorExpr:
+		base, ok := flattenPath(v.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + v.Sel.Name, true
+	case *ast.ParenExpr:
+		return flattenPath(v.X)
+	}
+	return "", false
+}
+
+// calleeFunc resolves the called function or method of a call expression,
+// or nil for builtins, conversions and indirect calls through variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeSignature resolves the signature of any call (including calls
+// through variables and fields), or nil for builtins and conversions.
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// fullFuncName is like (*types.Func).FullName but empty-safe: "time.Now",
+// "(*sync.Mutex).Lock".
+func fullFuncName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	return fn.FullName()
+}
+
+// isNilIdent reports whether e is the predeclared nil.
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil || id.Name == "nil"
+}
+
+// condGuaranteesNonNil reports whether cond being true implies the value at
+// textual path is non-nil: `path != nil`, any conjunct of a && chain, or a
+// negated nil-guarantee.
+func condGuaranteesNonNil(info *types.Info, cond ast.Expr, path string) bool {
+	switch v := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch v.Op.String() {
+		case "!=":
+			return binaryMatchesNil(info, v, path)
+		case "&&":
+			return condGuaranteesNonNil(info, v.X, path) || condGuaranteesNonNil(info, v.Y, path)
+		}
+	case *ast.UnaryExpr:
+		if v.Op.String() == "!" {
+			return condGuaranteesNil(info, v.X, path)
+		}
+	}
+	return false
+}
+
+// condGuaranteesNil reports whether cond being true implies the value at
+// path is nil — so the *else* branch (or an early return) proves non-nil.
+// A || chain needs only one disjunct here: if the whole condition is false,
+// every disjunct is false.
+func condGuaranteesNil(info *types.Info, cond ast.Expr, path string) bool {
+	switch v := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch v.Op.String() {
+		case "==":
+			return binaryMatchesNil(info, v, path)
+		case "||":
+			return condGuaranteesNil(info, v.X, path) || condGuaranteesNil(info, v.Y, path)
+		}
+	case *ast.UnaryExpr:
+		if v.Op.String() == "!" {
+			return condGuaranteesNonNil(info, v.X, path)
+		}
+	}
+	return false
+}
+
+// binaryMatchesNil reports whether one side of the comparison is the path
+// and the other is nil.
+func binaryMatchesNil(info *types.Info, b *ast.BinaryExpr, path string) bool {
+	if p, ok := flattenPath(b.X); ok && p == path && isNilIdent(info, b.Y) {
+		return true
+	}
+	if p, ok := flattenPath(b.Y); ok && p == path && isNilIdent(info, b.X) {
+		return true
+	}
+	return false
+}
+
+// terminates reports whether stmt unconditionally leaves the enclosing
+// block: return, branch statements, panic, or a goroutine-ending call.
+func terminates(info *types.Info, stmt ast.Stmt) bool {
+	switch v := stmt.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := v.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+		name := fullFuncName(calleeFunc(info, call))
+		return name == "os.Exit" || name == "runtime.Goexit"
+	case *ast.BlockStmt:
+		if len(v.List) == 0 {
+			return false
+		}
+		return terminates(info, v.List[len(v.List)-1])
+	}
+	return false
+}
+
+// blockTerminates reports whether the last statement of body terminates.
+func blockTerminates(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	return terminates(info, body.List[len(body.List)-1])
+}
+
+// namedTypeIn reports whether t (after pointer indirection) is a defined
+// type with the given name declared in a package with the given name. Used
+// to match contract types structurally — probe.Probe, context.Context —
+// without importing them, so fixture packages can declare lookalikes.
+func namedTypeIn(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != typeName || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Name() == pkgName
+}
+
+// pathHasSuffixAny reports whether pkgPath ends with any of the given
+// "/internal/<name>"-style suffixes or equals one outright (the fixture
+// case, where the package path is just the fixture name).
+func pathHasSuffixAny(pkgPath string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if pkgPath == s || strings.HasSuffix(pkgPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncBodies returns the bodies of every function literal and
+// declaration on the stack, innermost first.
+func enclosingFuncBodies(stack []ast.Node) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch v := stack[i].(type) {
+		case *ast.FuncLit:
+			out = append(out, v.Body)
+		case *ast.FuncDecl:
+			out = append(out, v.Body)
+		}
+	}
+	return out
+}
+
+// enclosingFuncName returns the name of the innermost enclosing declared
+// function on the stack ("" inside a bare function literal at file scope).
+func enclosingFuncName(stack []ast.Node) string {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Name.Name
+		}
+	}
+	return ""
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed `//lint:ignore hpelint/<name> reason` comment.
+// It suppresses diagnostics from exactly the named analyzer on exactly the
+// next source line of the same file — narrow on purpose, so a suppression
+// can never quietly swallow a new, unrelated finding added nearby.
+type directive struct {
+	analyzer string // analyzer name without the hpelint/ prefix
+	pos      token.Position
+	used     bool
+}
+
+const directivePrefix = "//lint:ignore "
+
+// ignoreAnalyzerName is the pseudo-analyzer under which directive problems
+// (malformed, unknown analyzer, unused) are reported. It is not itself
+// suppressible: a broken suppression must always surface.
+const ignoreAnalyzerName = "ignore"
+
+// collectDirectives parses suppression directives from a package's files.
+// Malformed directives are reported immediately as diagnostics.
+func collectDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				text := c.Text
+				// Harness affordance: a fixture directive may carry its own
+				// `// want ...` annotation; that tail is not part of the reason.
+				if i := strings.Index(text, "// want "); i > 0 {
+					text = strings.TrimSpace(text[:i])
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				switch {
+				case !strings.HasPrefix(name, "hpelint/"):
+					diags = append(diags, Diagnostic{
+						Analyzer: ignoreAnalyzerName, Pos: pos,
+						Message: "malformed //lint:ignore: analyzer must be named hpelint/<name>",
+					})
+					continue
+				case strings.TrimSpace(reason) == "":
+					diags = append(diags, Diagnostic{
+						Analyzer: ignoreAnalyzerName, Pos: pos,
+						Message: "//lint:ignore " + name + " needs a reason: say why the invariant does not apply here",
+					})
+					continue
+				}
+				short := strings.TrimPrefix(name, "hpelint/")
+				if !known[short] {
+					diags = append(diags, Diagnostic{
+						Analyzer: ignoreAnalyzerName, Pos: pos,
+						Message: "//lint:ignore names unknown analyzer " + name,
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{analyzer: short, pos: pos})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// applyDirectives drops diagnostics suppressed by a directive (same file,
+// directive line + 1, matching analyzer) and reports every directive that
+// suppressed nothing — an unused ignore is stale documentation at best and
+// a silently disarmed check at worst.
+func applyDirectives(diags []Diagnostic, dirs []*directive) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, dir := range dirs {
+			if dir.analyzer == d.Analyzer &&
+				dir.pos.Filename == d.Pos.Filename &&
+				dir.pos.Line+1 == d.Pos.Line {
+				dir.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, d)
+		}
+	}
+	for _, dir := range dirs {
+		if !dir.used {
+			out = append(out, Diagnostic{
+				Analyzer: ignoreAnalyzerName, Pos: dir.pos,
+				Message: "unused //lint:ignore directive for hpelint/" + dir.analyzer +
+					": nothing on the next line triggers it",
+			})
+		}
+	}
+	return out
+}

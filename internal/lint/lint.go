@@ -1,0 +1,127 @@
+// Package lint is hpelint's analyzer framework: a hand-rolled, stdlib-only
+// (go/ast + go/parser + go/types, no golang.org/x/tools) static-analysis
+// suite that machine-checks the invariants this repository's serving and
+// caching layers lean on.
+//
+// The contracts under check are the ones nothing else enforces mechanically:
+//
+//   - results must be byte-identical across worker counts and cache hits —
+//     the content-addressed result cache (internal/server) serves old bytes
+//     as truth, so any wall-clock read, unseeded RNG or map-iteration-order
+//     leak into output invalidates every golden figure (determinism,
+//     maporder);
+//   - probe emission sites must stay nil-guarded so unprobed runs keep the
+//     exact fast path promised by BenchmarkNilProbe (probeguard);
+//   - contexts must be threaded end-to-end or cancellation silently stops
+//     working (ctxflow);
+//   - mutex-protected state must be touched with the documented lock held
+//     (locked).
+//
+// Each contract is an Analyzer. The driver (Run, used by cmd/hpelint) loads
+// packages with go-list-based loading, runs every applicable analyzer, and
+// filters the diagnostics through //lint:ignore suppressions. Diagnostics
+// carry file/line/column positions and are reported in a deterministic
+// order, so the tool itself honors the invariant it enforces.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. Run inspects a fully type-checked
+// package through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// `//lint:ignore hpelint/<Name> reason` suppression directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Scope, when non-nil, restricts the analyzer to packages for which it
+	// returns true (keyed by import path). A nil Scope means every package.
+	// The fixture harness bypasses Scope so testdata packages exercise
+	// analyzers regardless of their production footprint.
+	Scope func(pkgPath string) bool
+	// Run performs the analysis.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	PkgPath  string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding: which analyzer, where, and what.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the conventional file:line:col form used by the CLI.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (hpelint/%s)",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer, message —
+// a total order, so hpelint's own output is reproducible.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// runAnalyzers applies each analyzer to pkg (honoring Scope when useScope is
+// set) and returns the raw, unsuppressed diagnostics.
+func runAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, useScope bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if useScope && a.Scope != nil && !a.Scope(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			PkgPath:  pkg.ImportPath,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	return diags
+}

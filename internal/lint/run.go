@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerCtxFlow,
+		AnalyzerDeterminism,
+		AnalyzerLocked,
+		AnalyzerMapOrder,
+		AnalyzerProbeGuard,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection against All.
+func ByName(names []string) ([]*Analyzer, error) {
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %v)", n, AnalyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// AnalyzerNames lists the suite's analyzer names in stable order.
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range All() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// Run is the multichecker driver: load the packages matched by patterns
+// (relative to dir), run every applicable analyzer, filter through
+// //lint:ignore directives, and return the findings in deterministic order.
+// A package that fails to type-check is an error — analysis over broken
+// type information produces unreliable findings.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var all []Diagnostic
+	for _, pkg := range prog.Packages {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("%s does not type-check: %v", pkg.ImportPath, pkg.TypeErrors[0])
+		}
+		diags := runAnalyzers(pkg, prog.Fset, analyzers, true)
+		dirs, dirDiags := collectDirectives(prog.Fset, pkg.Files, known)
+		diags = append(applyDirectives(diags, dirs), dirDiags...)
+		all = append(all, diags...)
+	}
+	for i := range all {
+		if rel, err := filepath.Rel(dir, all[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) && rel != "" && !isParentEscape(rel) {
+			all[i].Pos.Filename = rel
+		}
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+// isParentEscape reports whether a relative path climbs out of the root.
+func isParentEscape(rel string) bool {
+	return rel == ".." || len(rel) >= 3 && rel[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,45 @@
+// Package ctxflow is the hpelint/ctxflow fixture: fresh root contexts
+// outside main/tests must be flagged, as must a ctx-receiving function
+// minting a new root for a context-accepting callee; proper threading
+// must stay silent.
+package ctxflow
+
+import "context"
+
+// fetch accepts a context like any well-behaved callee.
+func fetch(ctx context.Context, key string) string {
+	_ = ctx
+	return key
+}
+
+// Lookup threads its ctx — the approved shape.
+func Lookup(ctx context.Context, key string) string {
+	return fetch(ctx, key)
+}
+
+// Derive wraps the caller's ctx rather than minting a root — approved.
+func Derive(ctx context.Context, key string) string {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return fetch(sub, key)
+}
+
+// BadRoot mints a fresh root outside main and tests.
+func BadRoot(key string) string {
+	return fetch(context.Background(), key) // want `context\.Background\(\) outside package main`
+}
+
+// BadDrop receives a ctx and hands the callee a fresh one instead.
+func BadDrop(ctx context.Context, key string) string {
+	return fetch(context.TODO(), key) // want `BadDrop receives a context but passes a fresh context\.TODO\(\)`
+}
+
+// BadClosure drops the captured ctx inside a closure.
+func BadClosure(ctx context.Context) func() string {
+	return func() string {
+		return fetch(context.Background(), "k") // want `BadClosure receives a context but passes a fresh context\.Background\(\)`
+	}
+}
+
+// BadPackageRoot severs cancellation at package scope.
+var root = context.TODO() // want `context\.TODO\(\) outside package main`

@@ -1,0 +1,54 @@
+// Package determinism is the hpelint/determinism fixture: wall-clock
+// reads, global-RNG use and multi-ready selects must be flagged; seeded
+// RNGs and single-case polling selects must stay silent.
+package determinism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock twice.
+func Elapsed() time.Duration {
+	start := time.Now() // want `time\.Now reads the wall clock`
+	work()
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func work() {}
+
+// Pick consumes the process-global RNG.
+func Pick(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn uses the process-global RNG`
+}
+
+// Shuffle also hits the global RNG.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle uses the process-global RNG`
+}
+
+// SeededPick is the approved pattern: explicit source, replayable.
+func SeededPick(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// Merge drains whichever channel is ready first — the runtime picks.
+func Merge(a, b <-chan int) int {
+	select { // want `select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// Poll is the approved shape: one communication case plus default.
+func Poll(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,51 @@
+// Package ignorefix is the suppression-mechanism fixture: a
+// //lint:ignore directive silences exactly the named analyzer on exactly
+// the next line; anything else — wrong analyzer, wrong line, no
+// violation, malformed syntax, missing reason — is itself reported.
+package ignorefix
+
+import "time"
+
+// Suppressed is the approved shape: right analyzer, next line, a reason.
+func Suppressed() time.Time {
+	//lint:ignore hpelint/determinism fixture proves the suppression mechanism silences exactly this line
+	return time.Now()
+}
+
+// WrongName names a different analyzer: the finding still fires and the
+// directive is reported unused.
+func WrongName() time.Time {
+	//lint:ignore hpelint/maporder wrong analyzer on purpose // want `unused //lint:ignore directive for hpelint/maporder`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// WrongLine has a blank line between directive and violation: suppression
+// does not stretch.
+func WrongLine() time.Time {
+	//lint:ignore hpelint/determinism wrong line on purpose // want `unused //lint:ignore directive for hpelint/determinism`
+
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Unused suppresses a line that triggers nothing.
+//
+//lint:ignore hpelint/determinism nothing to suppress // want `unused //lint:ignore directive for hpelint/determinism`
+func Unused() {}
+
+// Malformed lacks the hpelint/ prefix.
+func Malformed() time.Time {
+	//lint:ignore determinism missing prefix // want `malformed //lint:ignore: analyzer must be named hpelint/<name>`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Unknown names an analyzer that does not exist.
+func Unknown() time.Time {
+	//lint:ignore hpelint/nonexistent no such analyzer // want `names unknown analyzer hpelint/nonexistent`
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// NoReason omits the mandatory reason.
+func NoReason() time.Time {
+	//lint:ignore hpelint/determinism // want `needs a reason`
+	return time.Now() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,73 @@
+// Package locked is the hpelint/locked fixture: fields annotated
+// `// guarded by <mu>` must be touched with the named mutex held on the
+// same receiver; *Locked helpers assert the precondition by convention.
+package locked
+
+import "sync"
+
+// counter models the documented lock discipline.
+type counter struct {
+	mu sync.Mutex
+	n  int      // guarded by mu
+	s  []string // guarded by mu
+
+	hint int // unannotated: out of scope for the analyzer
+}
+
+// Inc holds the lock — approved.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// BadPeek reads n with no lock at all.
+func (c *counter) BadPeek() int {
+	return c.n // want `field n is guarded by mu but accessed without c\.mu held`
+}
+
+// BadAppend touches s twice on one unlocked line.
+func (c *counter) BadAppend(v string) {
+	c.s = append(c.s, v) // want `field s is guarded by mu` `field s is guarded by mu`
+}
+
+// BadEarly reads before taking the lock; the read after Lock is fine.
+func (c *counter) BadEarly() int {
+	v := c.n // want `field n is guarded by mu but accessed without c\.mu held`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.n
+}
+
+// Hint touches the unannotated field freely.
+func (c *counter) Hint() int { return c.hint }
+
+// snapshotLocked asserts the caller holds the lock by naming convention.
+func (c *counter) snapshotLocked() []string {
+	return c.s
+}
+
+// Snapshot locks, then delegates to the *Locked helper.
+func (c *counter) Snapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+// gauge exercises RWMutex read-locking.
+type gauge struct {
+	mu sync.RWMutex
+	v  float64 // guarded by mu
+}
+
+// Read holds the read lock — approved.
+func (g *gauge) Read() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v
+}
+
+// BadRead skips the read lock.
+func (g *gauge) BadRead() float64 {
+	return g.v // want `field v is guarded by mu but accessed without g\.mu held`
+}

@@ -1,0 +1,86 @@
+// Package maporder is the hpelint/maporder fixture: map iteration whose
+// order reaches output (unsorted accumulation, prints, hashing) must be
+// flagged; sorted accumulation and order-insensitive folds must stay
+// silent.
+package maporder
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// BadCollect appends map keys and never sorts them.
+func BadCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside map iteration with no subsequent sort`
+	}
+	return keys
+}
+
+// GoodCollect sorts after accumulating — canonical order restored.
+func GoodCollect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BadPrint emits one line per key in iteration order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order reaches output through fmt\.Println`
+	}
+}
+
+// BadHash feeds iteration order into a hash — the cache-key poisoner.
+func BadHash(m map[string]string) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want `order-sensitive sink \(Write\)`
+	}
+	return h.Sum64()
+}
+
+// BadField accumulates into a struct field without sorting.
+type report struct {
+	lines []string
+}
+
+// Fill appends to a field: the receiver outlives the loop unsorted.
+func (r *report) Fill(m map[string]bool) {
+	for k := range m {
+		r.lines = append(r.lines, k) // want `append to r\.lines inside map iteration with no subsequent sort`
+	}
+}
+
+// GoodCount is an order-insensitive fold.
+func GoodCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// GoodSortSlice restores order with sort.Slice after the loop.
+func GoodSortSlice(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GoodInvert populates another map — maps have no order to corrupt.
+func GoodInvert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

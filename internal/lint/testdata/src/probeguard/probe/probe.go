@@ -1,0 +1,13 @@
+// Package probe mirrors the production probe contract for the probeguard
+// fixture: a typed event sink where nil means "not instrumented" and the
+// nil case must stay free.
+package probe
+
+// Event is one instrumentation event.
+type Event struct{ Kind int }
+
+// Probe consumes an event stream.
+type Probe interface {
+	Emit(ev Event)
+	Flush() error
+}

@@ -1,0 +1,72 @@
+// Package probeguard is the hpelint/probeguard fixture: calls through a
+// probe.Probe value must be dominated by a nil check on that exact
+// receiver; every accepted guard shape must stay silent.
+package probeguard
+
+import "probeguard/probe"
+
+// Driver models a component with an optional probe attached.
+type Driver struct {
+	probe probe.Probe
+}
+
+// BadEmit calls the probe with no guard at all.
+func (d *Driver) BadEmit() {
+	d.probe.Emit(probe.Event{}) // want `d\.probe\.Emit called without a dominating`
+}
+
+// BadWrongGuard nil-checks a different probe than the one it calls.
+func (d *Driver) BadWrongGuard(other probe.Probe) error {
+	if other != nil {
+		return d.probe.Flush() // want `d\.probe\.Flush called without a dominating`
+	}
+	return nil
+}
+
+// BadAfterGuardedBlock: a guard over one call does not dominate the next.
+func (d *Driver) BadAfterGuardedBlock() error {
+	if d.probe != nil {
+		d.probe.Emit(probe.Event{})
+	}
+	return d.probe.Flush() // want `d\.probe\.Flush called without a dominating`
+}
+
+// GoodBranch is the canonical guarded emission site.
+func (d *Driver) GoodBranch() {
+	if d.probe != nil {
+		d.probe.Emit(probe.Event{})
+	}
+}
+
+// GoodEarlyReturn guards with an early exit.
+func (d *Driver) GoodEarlyReturn() {
+	if d.probe == nil {
+		return
+	}
+	d.probe.Emit(probe.Event{})
+}
+
+// GoodElse reaches the call through the else of a nil test.
+func (d *Driver) GoodElse(fallback func()) {
+	if d.probe == nil {
+		fallback()
+	} else {
+		d.probe.Emit(probe.Event{})
+	}
+}
+
+// GoodConjunction guards inside a compound condition.
+func (d *Driver) GoodConjunction(ready bool) {
+	if ready && d.probe != nil {
+		d.probe.Emit(probe.Event{})
+	}
+}
+
+// GoodLocal binds the probe to a local and guards that.
+func (d *Driver) GoodLocal() error {
+	p := d.probe
+	if p == nil {
+		return nil
+	}
+	return p.Flush()
+}

@@ -53,6 +53,7 @@ func Replay(tr *trace.Trace, p Policy, capacityPages int) ReplayResult {
 // sim.Cycle(seq)): inter-arrival histograms then measure reference distance
 // rather than simulated time. A nil probe keeps the exact Replay fast path.
 func ReplayProbed(tr *trace.Trace, p Policy, capacityPages int, pr probe.Probe) ReplayResult {
+	//lint:ignore hpelint/ctxflow context-free compatibility wrapper by design; callers needing cancellation use ReplayContext
 	return ReplayContext(context.Background(), tr, p, capacityPages, pr)
 }
 

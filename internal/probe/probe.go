@@ -195,6 +195,7 @@ func Multi(ps ...Probe) Probe {
 // Emit implements Probe.
 func (m multi) Emit(ev Event) {
 	for _, p := range m {
+		//lint:ignore hpelint/probeguard Multi drops nil members at construction, so every element is non-nil by invariant
 		p.Emit(ev)
 	}
 }
@@ -203,6 +204,7 @@ func (m multi) Emit(ev Event) {
 func (m multi) Flush() error {
 	var first error
 	for _, p := range m {
+		//lint:ignore hpelint/probeguard Multi drops nil members at construction, so every element is non-nil by invariant
 		if err := p.Flush(); err != nil && first == nil {
 			first = err
 		}

@@ -14,12 +14,12 @@ import (
 // wrong body, only save the minutes it would take to recompute one.
 type resultCache struct {
 	mu     sync.Mutex
-	budget int64
-	bytes  int64
-	ll     *list.List // front = most recently used
-	items  map[string]*list.Element
+	budget int64                    // immutable after construction
+	bytes  int64                    // guarded by mu
+	ll     *list.List               // guarded by mu; front = most recently used
+	items  map[string]*list.Element // guarded by mu
 
-	hits, misses, evictions uint64
+	hits, misses, evictions uint64 // guarded by mu
 }
 
 type cacheEntry struct {

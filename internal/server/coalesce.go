@@ -14,8 +14,8 @@ import (
 // cancelled mid-flight instead of burning cycles for nobody.
 type coalescer struct {
 	mu        sync.Mutex
-	calls     map[string]*call
-	coalesced uint64
+	calls     map[string]*call // guarded by mu
+	coalesced uint64           // guarded by mu
 }
 
 // call is one in-flight computation.

@@ -19,18 +19,18 @@ import (
 type serverMetrics struct {
 	mu sync.Mutex
 
-	requests map[string]uint64 // "route code" → count
+	requests map[string]uint64 // guarded by mu; "route code" → count
 
-	runsStarted   uint64
-	runsCompleted uint64
-	runsCancelled uint64
-	runsFailed    uint64
+	runsStarted   uint64 // guarded by mu
+	runsCompleted uint64 // guarded by mu
+	runsCancelled uint64 // guarded by mu
+	runsFailed    uint64 // guarded by mu
 
-	simEvents map[string]uint64 // probe kind name → total events
+	simEvents map[string]uint64 // guarded by mu; probe kind name → total events
 
-	cachedLat stats.Histogram // cache-hit responses, µs
-	simLat    stats.Histogram // full simulations, µs
-	suiteLat  stats.Histogram // suite sweeps, µs
+	cachedLat stats.Histogram // guarded by mu; cache-hit responses, µs
+	simLat    stats.Histogram // guarded by mu; full simulations, µs
+	suiteLat  stats.Histogram // guarded by mu; suite sweeps, µs
 }
 
 func newServerMetrics() *serverMetrics {

@@ -92,7 +92,7 @@ type Server struct {
 	drainOnce  sync.Once
 
 	traceMu sync.Mutex
-	traces  map[string]*traceEntry
+	traces  map[string]*traceEntry // guarded by traceMu
 }
 
 type traceEntry struct {
@@ -103,6 +103,7 @@ type traceEntry struct {
 // New builds a Server.
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
+	//lint:ignore hpelint/ctxflow the daemon owns its lifecycle root; Close cancels it, and per-request contexts derive from it
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,

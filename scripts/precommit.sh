@@ -1,0 +1,32 @@
+#!/bin/sh
+# scripts/precommit.sh — the fast pre-commit slice of `make check`:
+# formatting, go vet, and hpelint (DESIGN.md §10). Wire it up with
+#
+#   ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
+#
+# or run it by hand before pushing. The full gate (tests, race subsets,
+# fuzz seeds) is `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+unformatted=$(gofmt -l . | grep -v '^internal/lint/testdata/' || true)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    fail=1
+fi
+
+if ! go vet ./...; then
+    fail=1
+fi
+
+if ! go run ./cmd/hpelint ./...; then
+    echo "hpelint: findings above; fix them or annotate the preceding line" >&2
+    echo "with '//lint:ignore hpelint/<analyzer> reason' (see DESIGN.md §10)" >&2
+    fail=1
+fi
+
+exit $fail
