@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race race-probe serve-check fuzz-seed bench bench-probe clean
+.PHONY: all check build test vet lint race race-probe serve-check fuzz-seed bench bench-probe bench-json bench-smoke clean
 
 all: check
 
-check: build vet lint test race race-probe serve-check fuzz-seed
+check: build vet lint test race race-probe serve-check fuzz-seed bench-smoke
 
 # Tier-1 verify (ROADMAP.md).
 build:
@@ -33,10 +33,11 @@ lint:
 race:
 	$(GO) test -race -run 'Concurrent|Dedup|RunPool' ./internal/experiments/
 
-# The probe hot path under the race detector: emission sites, Chrome-trace
-# streaming, and probed-vs-unprobed determinism.
+# The probe hot path and the rewritten event engine under the race detector:
+# emission sites, Chrome-trace streaming, probed-vs-unprobed determinism, and
+# parallel independent engines (no hidden shared state in the SoA store).
 race-probe:
-	$(GO) test -race -run 'Probe|Trace' ./internal/probe/ ./internal/gpu/
+	$(GO) test -race -run 'Probe|Trace|Race' ./internal/probe/ ./internal/gpu/ ./internal/sim/
 
 # The hped serving layer under the race detector: coalescer, result cache,
 # admission queue, cancellation, the soak test, and the daemon's SIGTERM
@@ -46,9 +47,10 @@ serve-check:
 	$(GO) test -race -count=1 ./internal/server/ ./cmd/hped/
 
 # Fuzz targets, seed corpus only (the -fuzz loop is interactive; run
+# `go test -fuzz=FuzzEngineEquivalence ./internal/sim/` or
 # `go test -fuzz=FuzzCatalogGenerate ./internal/workload/` to explore).
 fuzz-seed:
-	$(GO) test -run 'Fuzz' ./internal/workload/
+	$(GO) test -run 'Fuzz' ./internal/workload/ ./internal/sim/
 
 # One benchmark per paper table/figure plus the ablations.
 bench:
@@ -59,6 +61,18 @@ bench:
 # per emission site); BenchmarkMetricsProbe prices the instrumentation.
 bench-probe:
 	$(GO) test -run '^$$' -bench 'BenchmarkNilProbe|BenchmarkMetricsProbe' -benchtime=5x -count=3 .
+
+# Performance trajectory (EXPERIMENTS.md): append the next numbered
+# BENCH_<n>.json at the repo root — engine microbenchmarks, the retained
+# reference engine as in-run baseline, and the serial full-sweep wall-clock.
+bench-json:
+	sh scripts/bench_json.sh
+
+# 1-iteration schema smoke of the trajectory harness (part of `make check`):
+# validates that -bench-json still emits a schema-correct report without
+# paying for a full measurement run.
+bench-smoke:
+	sh scripts/bench_json.sh --smoke
 
 clean:
 	rm -f hpelint

@@ -51,7 +51,18 @@ func main() {
 	jsonOut := flag.String("json", "", "also write report metrics as JSON to this file (\"-\" = stdout)")
 	traceDir := flag.String("trace", "", "write a Chrome trace_event JSON file per simulation into this directory")
 	metrics := flag.Bool("metrics", false, "print per-simulation event histograms to stderr")
+	benchJSON := flag.String("bench-json", "", "run the performance-trajectory harness and write BENCH_<n>.json to this path")
+	benchIters := flag.Int("bench-iters", 2000, "microbenchmark repetitions for -bench-json")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchIters, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "hpebench: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"hpe/internal/experiments"
+	"hpe/internal/probe"
 )
 
 // goldenReport mirrors cmd/hpebench's jsonReport.
@@ -78,6 +79,63 @@ func TestGoldenHeadlineResults(t *testing.T) {
 		for key := range rep.Metrics {
 			if _, ok := want.Metrics[key]; !ok && !math.IsNaN(rep.Metrics[key]) {
 				t.Errorf("%s: new metric %q missing from golden file — regenerate results.json", id, key)
+			}
+		}
+	}
+}
+
+// TestGoldenProbedRuns pins the two invariants the probe layer and the
+// rewritten engine hot path must uphold together: attaching instrumentation
+// (a Metrics probe on every run) changes no result, and neither does the
+// worker count. Both a serial run and an 8-worker run, each fully probed,
+// must reproduce the committed results.json exactly — the same golden file
+// the unprobed headline test uses.
+func TestGoldenProbedRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full recomputation skipped in -short mode")
+	}
+	raw, err := os.ReadFile("results.json")
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var golden []goldenReport
+	if err := json.Unmarshal(raw, &golden); err != nil {
+		t.Fatalf("parsing results.json: %v", err)
+	}
+	byID := map[string]goldenReport{}
+	for _, g := range golden {
+		byID[g.ID] = g
+	}
+
+	for _, workers := range []int{1, 8} {
+		s := experiments.NewSuite(experiments.Options{
+			Seed:    1,
+			Workers: workers,
+			Probe:   func(experiments.RunInfo) probe.Probe { return probe.NewMetrics() },
+		})
+		for _, id := range []string{"fig10", "fig11", "fig12"} {
+			want, ok := byID[id]
+			if !ok {
+				t.Fatalf("results.json has no %q entry", id)
+			}
+			rep, ok := s.ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not dispatchable", id)
+			}
+			for key, gv := range want.Metrics {
+				if math.Abs(gv) >= math.MaxFloat64/2 {
+					continue // ±Inf clamped by the JSON writer; not comparable
+				}
+				mv, ok := rep.Metrics[key]
+				if !ok {
+					t.Errorf("workers=%d %s: metric %q in golden file but not recomputed", workers, id, key)
+					continue
+				}
+				diff := math.Abs(mv - gv)
+				if diff > goldenTolerance*math.Max(1, math.Abs(gv)) {
+					t.Errorf("workers=%d %s/%s: probed run recomputed %v, golden %v (Δ %.3g) — "+
+						"probes must observe without steering", workers, id, key, mv, gv, diff)
+				}
 			}
 		}
 	}

@@ -205,6 +205,37 @@ type continuation struct {
 	seq  int
 }
 
+// The three hot-path event kinds are named handler types over the Simulator
+// itself — `(*issueEvent)(s)` is a zero-allocation pointer conversion, so
+// scheduling an issue, walk-completion, or access-completion event costs no
+// heap allocation at all (the payload travels in the event's two integer
+// words). Only cold paths (fault service, barrier probes) still use closures.
+
+// issueEvent runs the translation path: a0 = SM id, a1 = access sequence.
+type issueEvent Simulator
+
+func (e *issueEvent) OnEvent(a0, a1 uint64) {
+	s := (*Simulator)(e)
+	s.issue(s.sms[a0], int(a1))
+}
+
+// walkDoneEvent resolves a completed page-table walk: a0 = page.
+type walkDoneEvent Simulator
+
+func (e *walkDoneEvent) OnEvent(a0, _ uint64) {
+	(*Simulator)(e).finishWalk(addrspace.PageID(a0))
+}
+
+// completeEvent retires one access and recycles its warp slot: a0 = SM id.
+type completeEvent Simulator
+
+func (e *completeEvent) OnEvent(a0, _ uint64) {
+	s := (*Simulator)(e)
+	s.completed++
+	s.dispatch(s.sms[a0])
+	s.releaseBarrier()
+}
+
 type smState struct {
 	id        int
 	l1        *tlb.TLB
@@ -228,8 +259,13 @@ type Simulator struct {
 	hirC   *hir.Cache
 	probe  probe.Probe // nil unless instrumented (WithProbe)
 
+	hIssue    sim.HandlerID
+	hWalk     sim.HandlerID
+	hComplete sim.HandlerID
+
 	cursor      int
 	walkWaiters map[addrspace.PageID][]continuation
+	contPool    [][]continuation // recycled waiter slices (capacity retained)
 	completed   uint64
 	walkHits    uint64
 	walks       uint64
@@ -314,6 +350,9 @@ func New(cfg Config, tr *trace.Trace, pol policy.Policy, opts ...Option) *Simula
 		s.l2d = cache.New(cfg.DataL2)
 		s.dramC = dram.New(cfg.DRAM)
 	}
+	s.hIssue = s.engine.Register((*issueEvent)(s))
+	s.hWalk = s.engine.Register((*walkDoneEvent)(s))
+	s.hComplete = s.engine.Register((*completeEvent)(s))
 	s.driver = uvm.New(cfg.Driver, s.engine, s.memory, pol, s.hirC, s.invalidate)
 	for i := 0; i < cfg.SMs; i++ {
 		sm := &smState{
@@ -391,7 +430,7 @@ func (s *Simulator) dispatch(sm *smState) {
 		issueAt = sm.nextIssue + 1
 	}
 	sm.nextIssue = issueAt
-	s.engine.At(issueAt, func() { s.issue(sm, seq) })
+	s.engine.Schedule(issueAt, s.hIssue, uint64(sm.id), uint64(seq))
 }
 
 // issue runs the translation path for access seq on SM sm.
@@ -424,7 +463,12 @@ func (s *Simulator) issue(sm *smState, seq int) {
 		}
 		return
 	}
-	s.walkWaiters[page] = []continuation{cont}
+	var ws []continuation
+	if n := len(s.contPool); n > 0 {
+		ws = s.contPool[n-1]
+		s.contPool = s.contPool[:n-1]
+	}
+	s.walkWaiters[page] = append(ws, cont)
 	s.walks++
 	var delay sim.Cycle
 	if s.pwalk != nil {
@@ -432,7 +476,7 @@ func (s *Simulator) issue(sm *smState, seq int) {
 	} else {
 		delay = s.cfg.L1TLBLatency + s.cfg.L2TLBLatency + s.cfg.WalkLatency
 	}
-	s.engine.After(delay, func() { s.finishWalk(page) })
+	s.engine.ScheduleAfter(delay, s.hWalk, uint64(page), 0)
 }
 
 // finishWalk resolves a completed page-table walk.
@@ -452,7 +496,9 @@ func (s *Simulator) finishWalk(page addrspace.PageID) {
 	s.driver.Fault(page, conts[0].seq, func() { s.fillAndWake(page, conts) })
 }
 
-// fillAndWake installs the translation and completes every merged access.
+// fillAndWake installs the translation, completes every merged access, and
+// returns the waiter slice to the pool (fillAndWake is the single sink for
+// waiter slices on both the walk-hit and fault paths).
 func (s *Simulator) fillAndWake(page addrspace.PageID, conts []continuation) {
 	if s.pwalk == nil {
 		s.l2.Fill(page)
@@ -462,6 +508,7 @@ func (s *Simulator) fillAndWake(page addrspace.PageID, conts []continuation) {
 		sm.l1.Fill(page)
 		s.finish(sm, page, c.seq, 1)
 	}
+	s.contPool = append(s.contPool, conts[:0])
 }
 
 // finish completes one access after `extra` cycles (plus the data-path
@@ -470,11 +517,7 @@ func (s *Simulator) finish(sm *smState, page addrspace.PageID, seq int, extra si
 	if sm.l1d != nil {
 		extra += s.dataLatency(sm, page, seq)
 	}
-	s.engine.After(extra+s.cfg.ComputeGap, func() {
-		s.completed++
-		s.dispatch(sm)
-		s.releaseBarrier()
-	})
+	s.engine.ScheduleAfter(extra+s.cfg.ComputeGap, s.hComplete, uint64(sm.id), 0)
 }
 
 // releaseBarrier re-dispatches parked slots once the kernel before the

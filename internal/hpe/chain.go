@@ -42,6 +42,16 @@ type entryKey struct {
 	secondary bool
 }
 
+// packed interns the key into one word (set<<1 | secondary) so the chain
+// index uses the runtime's uint64 fast path instead of hashing a struct.
+func (k entryKey) packed() uint64 {
+	v := uint64(k.set) << 1
+	if k.secondary {
+		v |= 1
+	}
+	return v
+}
+
 func (k entryKey) String() string {
 	if k.secondary {
 		return fmt.Sprintf("%v/secondary", k.set)
@@ -77,7 +87,7 @@ type setChain struct {
 	geometry    addrspace.Geometry
 	counterCap  int
 	head, tail  *chainEntry
-	index       map[entryKey]*chainEntry
+	index       map[uint64]*chainEntry // packed entryKey → entry
 	curInterval uint64
 }
 
@@ -85,7 +95,7 @@ func newSetChain(g addrspace.Geometry, counterCap int) *setChain {
 	return &setChain{
 		geometry:   g,
 		counterCap: counterCap,
-		index:      make(map[entryKey]*chainEntry),
+		index:      make(map[uint64]*chainEntry),
 	}
 }
 
@@ -108,7 +118,7 @@ func (c *setChain) partitionOf(e *chainEntry) Partition {
 // middle joins the old (the paper's P1 ← P2, P2 ← tail pointer update).
 func (c *setChain) rollover() { c.curInterval++ }
 
-func (c *setChain) get(k entryKey) *chainEntry { return c.index[k] }
+func (c *setChain) get(k entryKey) *chainEntry { return c.index[k.packed()] }
 
 // appendTail links e at the MRU position.
 func (c *setChain) appendTail(e *chainEntry) {
@@ -138,7 +148,7 @@ func (c *setChain) unlink(e *chainEntry) {
 // remove deletes the entry from the chain entirely (all its pages evicted).
 func (c *setChain) remove(e *chainEntry) {
 	c.unlink(e)
-	delete(c.index, e.key)
+	delete(c.index, e.key.packed())
 }
 
 // touch applies one reference event to the chain (Fig. 6): find or create
@@ -150,10 +160,11 @@ func (c *setChain) remove(e *chainEntry) {
 // faultOffset is the faulting page's offset within the set, or -1 for a
 // hit-batch update. Returns the entry.
 func (c *setChain) touch(k entryKey, inc, faultOffset int) *chainEntry {
-	e := c.index[k]
+	pk := k.packed()
+	e := c.index[pk]
 	if e == nil {
 		e = &chainEntry{key: k, movedInterval: c.curInterval}
-		c.index[k] = e
+		c.index[pk] = e
 		c.appendTail(e)
 	} else if c.partitionOf(e) != PartitionNew {
 		c.unlink(e)
@@ -174,7 +185,7 @@ func (c *setChain) touch(k entryKey, inc, faultOffset int) *chainEntry {
 // entry only if it already exists (hit information for sets evicted before
 // the drain is dropped, mirroring the HIR's lossy nature).
 func (c *setChain) updateExisting(k entryKey, inc int) *chainEntry {
-	if c.index[k] == nil {
+	if c.index[k.packed()] == nil {
 		return nil
 	}
 	return c.touch(k, inc, -1)

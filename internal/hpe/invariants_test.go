@@ -29,7 +29,7 @@ func checkChainInvariants(t *testing.T, h *HPE) {
 			t.Fatal("chain not stamp-sorted")
 		}
 		prev = e.movedInterval
-		if c.index[e.key] != e {
+		if c.index[e.key.packed()] != e {
 			t.Fatalf("entry %v not indexed", e.key)
 		}
 		if e.counter < 0 || e.counter > h.cfg.CounterCap {

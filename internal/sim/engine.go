@@ -6,12 +6,25 @@
 // Determinism: events scheduled for the same cycle fire in scheduling order
 // (stable FIFO tie-break), so a simulation with the same inputs always
 // produces the same result regardless of map iteration order or host timing.
+//
+// # Hot-path layout (DESIGN.md §11)
+//
+// The queue is a value-typed struct-of-arrays store. Events live in a 4-ary
+// heap of all-scalar heapNode values — timestamp, FIFO sequence, and the two
+// payload words inline — so heap sifts never chase pointers, never trigger
+// write barriers, and the whole queue is invisible to the garbage collector.
+// Hot callers register a Handler once (Register) and then schedule by
+// HandlerID with two integer payload words (Schedule/ScheduleAfter): zero
+// allocations per event. The closure API (At/After) remains for cold paths;
+// closures park in a side store of index-based slots reused through a free
+// list. The clock always skips directly to the next scheduled event's
+// timestamp — there is no per-cycle ticking anywhere in the engine. The
+// previous container/heap implementation survives as Reference, the
+// differential-testing oracle (FuzzEngineEquivalence) and the
+// bench-trajectory baseline (`make bench-json`).
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Cycle is a point in simulated time, in GPU core clock cycles.
 type Cycle uint64
@@ -23,47 +36,46 @@ func CyclesPerMicrosecond(us float64, coreMHz float64) Cycle {
 	return Cycle(us * coreMHz)
 }
 
-// Event is a unit of scheduled work.
-type Event struct {
-	at   Cycle
-	seq  uint64
-	fire func()
+// Handler receives typed events. Registering a handler once and scheduling
+// by its HandlerID keeps the hot path allocation-free: the two uint64
+// payload words carry whatever the component needs (an SM index, a trace
+// sequence number, a page number).
+type Handler interface {
+	OnEvent(a0, a1 uint64)
 }
 
-// eventHeap implements container/heap ordered by (at, seq).
-type eventHeap []*Event
+// HandlerID names a registered Handler on its engine.
+type HandlerID int32
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+// heapNode is one 4-ary-heap element: the ordering key (at, seq) with the
+// payload inline. kind >= 0 indexes the registered-handler table; kind < 0
+// encodes a closure slot as -(slot+1). All fields are scalars, so the heap
+// needs no write barriers and is never scanned by the GC.
+type heapNode struct {
+	at     Cycle
+	seq    uint64
+	a0, a1 uint64
+	kind   int32
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now     Cycle
-	nextSeq uint64
-	queue   eventHeap
-	fired   uint64
-	limit   Cycle // 0 means no limit
+	now      Cycle
+	nextSeq  uint64
+	heap     []heapNode // 4-ary min-heap ordered by (at, seq)
+	handlers []Handler  // Register'd, indexed by HandlerID
+	fns      []func()   // closure payloads (At/After), indexed by slot
+	fnFree   []int32    // recycled closure slots
+	fired    uint64
+	limit    Cycle // 0 means no limit
 
 	// Cancellation: poll is consulted once every pollEvery fired events (a
 	// single decrement + compare on the hot path), so an external signal —
 	// a context, a client disconnect — can stop a run without the engine
-	// importing context or the callers paying a per-event check.
+	// importing context or the callers paying a per-event check. The poll
+	// runs after the queue and limit checks: a drained or limit-parked
+	// engine never consumes poll ticks on no-op Steps.
 	poll      func() bool
 	pollEvery uint64
 	pollLeft  uint64
@@ -82,7 +94,7 @@ func (e *Engine) Now() Cycle { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // SetLimit installs a hard ceiling on simulated time; Run stops (without
 // firing) events scheduled after the limit. A limit of 0 removes the ceiling.
@@ -107,15 +119,121 @@ func (e *Engine) SetCancel(every uint64, poll func() bool) {
 // Cancelled reports whether a cancellation poll stopped the engine.
 func (e *Engine) Cancelled() bool { return e.cancelled }
 
+// Register interns a handler and returns its id for Schedule. Handlers are
+// expected to be a few long-lived values registered at construction time;
+// registering is not a hot-path operation.
+func (e *Engine) Register(h Handler) HandlerID {
+	if h == nil {
+		panic("sim: Register(nil) handler")
+	}
+	e.handlers = append(e.handlers, h)
+	return HandlerID(len(e.handlers) - 1)
+}
+
+// push appends an ordering node and restores the heap.
+func (e *Engine) push(at Cycle, a0, a1 uint64, kind int32) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", at, e.now))
+	}
+	if len(e.heap) == cap(e.heap) {
+		// Grow straight to a useful size: a simulation's queue depth is at
+		// least one event per warp slot, so the doubling ramp from an empty
+		// slice (1, 2, 4, ...) would just be ten copies on the way to 1024.
+		const minHeapCap = 1024
+		newCap := 2 * cap(e.heap)
+		if newCap < minHeapCap {
+			newCap = minHeapCap
+		}
+		grown := make([]heapNode, len(e.heap), newCap)
+		copy(grown, e.heap)
+		e.heap = grown
+	}
+	e.heap = append(e.heap, heapNode{at: at, seq: e.nextSeq, a0: a0, a1: a1, kind: kind})
+	e.nextSeq++
+	e.siftUp(len(e.heap) - 1)
+}
+
+func nodeLess(a, b *heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores heap order from child i toward the root (4-ary: the parent
+// of i is (i-1)/4).
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	n := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !nodeLess(&n, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+}
+
+// siftDown restores heap order from the root after a pop: children of i are
+// 4i+1..4i+4. Four-way fan-out halves the tree depth of a binary heap,
+// cutting the cache lines touched per pop. The sift is bottom-up (Wegener):
+// the hole walks to the bottom along min-child links without comparing
+// against the replacement node, then the replacement bubbles up — the
+// replacement came from the heap's last position, so it almost always
+// belongs near the bottom, and skipping the per-level replacement compare
+// saves a quarter of the comparisons on the dominant down path.
+func (e *Engine) siftDown() {
+	h := e.heap
+	n := h[0]
+	i := 0
+	size := len(h)
+	for {
+		c := i<<2 + 1
+		if c >= size {
+			break
+		}
+		end := c + 4
+		if end > size {
+			end = size
+		}
+		best := c
+		for k := c + 1; k < end; k++ {
+			if nodeLess(&h[k], &h[best]) {
+				best = k
+			}
+		}
+		h[i] = h[best]
+		i = best
+	}
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !nodeLess(&n, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = n
+}
+
 // At schedules fn to run at the given absolute cycle. Scheduling in the past
 // (before Now) is an error and panics: it would silently reorder causality.
 func (e *Engine) At(at Cycle, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at cycle %d before now (%d)", at, e.now))
 	}
-	ev := &Event{at: at, seq: e.nextSeq, fire: fn}
-	e.nextSeq++
-	heap.Push(&e.queue, ev)
+	var slot int32
+	if n := len(e.fnFree); n > 0 {
+		slot = e.fnFree[n-1]
+		e.fnFree = e.fnFree[:n-1]
+	} else {
+		e.fns = append(e.fns, nil)
+		slot = int32(len(e.fns) - 1)
+	}
+	e.fns[slot] = fn
+	e.push(at, 0, 0, -(slot + 1))
 }
 
 // After schedules fn to run delay cycles from now.
@@ -123,10 +241,28 @@ func (e *Engine) After(delay Cycle, fn func()) {
 	e.At(e.now+delay, fn)
 }
 
-// Step fires the next event, advancing the clock to its timestamp. It
-// returns false when no events remain or the next event lies past the limit.
+// Schedule enqueues an event for a registered handler at the given absolute
+// cycle with two payload words. It is the allocation-free analogue of At.
+func (e *Engine) Schedule(at Cycle, h HandlerID, a0, a1 uint64) {
+	e.push(at, a0, a1, int32(h))
+}
+
+// ScheduleAfter enqueues a handler event delay cycles from now.
+func (e *Engine) ScheduleAfter(delay Cycle, h HandlerID, a0, a1 uint64) {
+	e.push(e.now+delay, a0, a1, int32(h))
+}
+
+// Step fires the next event, advancing the clock directly to its timestamp
+// (skip-ahead; no intermediate cycles are visited). It returns false when no
+// events remain or the next event lies past the limit. The cancellation poll
+// is consulted only when a firing is actually about to happen, so no-op
+// Steps at the limit or on a drained queue never consume poll ticks.
 func (e *Engine) Step() bool {
-	if e.cancelled || len(e.queue) == 0 {
+	if e.cancelled || len(e.heap) == 0 {
+		return false
+	}
+	next := e.heap[0]
+	if e.limit != 0 && next.at > e.limit {
 		return false
 	}
 	if e.poll != nil {
@@ -139,14 +275,23 @@ func (e *Engine) Step() bool {
 			}
 		}
 	}
-	next := e.queue[0]
-	if e.limit != 0 && next.at > e.limit {
-		return false
+	last := len(e.heap) - 1
+	e.heap[0] = e.heap[last]
+	e.heap = e.heap[:last]
+	if last > 1 {
+		e.siftDown()
 	}
-	heap.Pop(&e.queue)
 	e.now = next.at
 	e.fired++
-	next.fire()
+	if next.kind >= 0 {
+		e.handlers[next.kind].OnEvent(next.a0, next.a1)
+	} else {
+		slot := -next.kind - 1
+		fn := e.fns[slot]
+		e.fns[slot] = nil // drop the closure ref before slot reuse
+		e.fnFree = append(e.fnFree, slot)
+		fn()
+	}
 	return true
 }
 
@@ -161,7 +306,7 @@ func (e *Engine) Run() Cycle {
 // RunUntil fires events with timestamps <= until, advancing the clock to
 // exactly until when the queue drains earlier.
 func (e *Engine) RunUntil(until Cycle) {
-	for len(e.queue) > 0 && e.queue[0].at <= until {
+	for len(e.heap) > 0 && e.heap[0].at <= until {
 		if !e.Step() {
 			break
 		}

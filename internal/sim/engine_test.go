@@ -195,13 +195,3 @@ func TestEngineConservationProperty(t *testing.T) {
 		}
 	}
 }
-
-func BenchmarkEngineScheduleAndRun(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		for j := 0; j < 1000; j++ {
-			e.At(Cycle(j%97), func() {})
-		}
-		e.Run()
-	}
-}

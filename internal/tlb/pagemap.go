@@ -1,0 +1,126 @@
+package tlb
+
+import "hpe/internal/addrspace"
+
+// pageMap is a fixed-capacity open-addressing hash table from PageID to
+// entry index. A TLB never holds more than its entry count of distinct
+// pages, so the table is sized once at construction (2× capacity rounded up
+// to a power of two, ≤ 50% load) and never grows. Linear probing with
+// backward-shift deletion keeps probe chains tombstone-free under the
+// fill/invalidate churn of eviction shootdowns. Replacing the runtime map
+// removes hashing and bucket overhead from the per-access Lookup path, which
+// profiles showed dominating once the set scans were gone.
+type pageMap struct {
+	slots []pageSlot
+	shift uint // 64 - log2(len(slots)), for Fibonacci hashing
+	n     int
+}
+
+type pageSlot struct {
+	page addrspace.PageID
+	idx  int32 // -1 = empty
+}
+
+func newPageMap(capacity int) *pageMap {
+	size := 8
+	for size < capacity*2 {
+		size <<= 1
+	}
+	m := &pageMap{slots: make([]pageSlot, size)}
+	s := uint(64)
+	for v := size; v > 1; v >>= 1 {
+		s--
+	}
+	m.shift = s
+	for i := range m.slots {
+		m.slots[i].idx = -1
+	}
+	return m
+}
+
+func (m *pageMap) hash(p addrspace.PageID) uint64 {
+	return (uint64(p) * 0x9E3779B97F4A7C15) >> m.shift
+}
+
+func (m *pageMap) mask() uint64 { return uint64(len(m.slots) - 1) }
+
+// get returns the entry index for p, or -1.
+func (m *pageMap) get(p addrspace.PageID) int32 {
+	mask := m.mask()
+	for i := m.hash(p); ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.idx < 0 {
+			return -1
+		}
+		if s.page == p {
+			return s.idx
+		}
+	}
+}
+
+// put inserts or updates p → idx. The caller guarantees the table never
+// exceeds its construction capacity, so probing always finds a slot.
+func (m *pageMap) put(p addrspace.PageID, idx int32) {
+	mask := m.mask()
+	for i := m.hash(p); ; i = (i + 1) & mask {
+		s := &m.slots[i]
+		if s.idx < 0 {
+			s.page = p
+			s.idx = idx
+			m.n++
+			return
+		}
+		if s.page == p {
+			s.idx = idx
+			return
+		}
+	}
+}
+
+// del removes p if present, backward-shifting the probe chain so no
+// tombstones accumulate (Knuth 6.4 algorithm R).
+func (m *pageMap) del(p addrspace.PageID) {
+	mask := m.mask()
+	i := m.hash(p)
+	for {
+		s := &m.slots[i]
+		if s.idx < 0 {
+			return
+		}
+		if s.page == p {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	m.n--
+	for {
+		m.slots[i].idx = -1
+		j := i
+		for {
+			j = (j + 1) & mask
+			s := &m.slots[j]
+			if s.idx < 0 {
+				return
+			}
+			h := m.hash(s.page)
+			// Shift s back to the hole unless its home position lies
+			// cyclically within (i, j] — moving it would overshoot its chain.
+			if (j-h)&mask >= (j-i)&mask {
+				m.slots[i] = *s
+				break
+			}
+		}
+		i = j
+	}
+}
+
+// clear empties the table.
+func (m *pageMap) clear() {
+	for i := range m.slots {
+		m.slots[i].idx = -1
+	}
+	m.n = 0
+}
+
+// len returns the number of live entries.
+func (m *pageMap) len() int { return m.n }

@@ -1,0 +1,204 @@
+package tlb
+
+import (
+	"math/rand"
+	"testing"
+
+	"hpe/internal/addrspace"
+)
+
+// referenceTLB is the original timestamp-LRU implementation (whole-set scans,
+// one tick per operation), retained verbatim as the differential oracle for
+// the O(1) list-based rewrite.
+type referenceTLB struct {
+	sets    int
+	ways    int
+	entries []refEntry
+	tick    uint64
+
+	hits, misses, fills, invalides uint64
+}
+
+type refEntry struct {
+	valid bool
+	page  addrspace.PageID
+	used  uint64
+}
+
+func newReferenceTLB(entries, ways int) *referenceTLB {
+	return &referenceTLB{sets: entries / ways, ways: ways, entries: make([]refEntry, entries)}
+}
+
+func (t *referenceTLB) row(p addrspace.PageID) []refEntry {
+	idx := int(uint64(p) % uint64(t.sets))
+	return t.entries[idx*t.ways : (idx+1)*t.ways]
+}
+
+func (t *referenceTLB) Lookup(p addrspace.PageID) bool {
+	t.tick++
+	row := t.row(p)
+	for i := range row {
+		if row[i].valid && row[i].page == p {
+			row[i].used = t.tick
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	return false
+}
+
+// Fill is the original algorithm with one repair: the original interleaved
+// the presence check with the victim scan and broke out at the first invalid
+// way, so Fill(p) with p already resident *after* an invalid way installed a
+// duplicate entry (see TestOriginalFillDuplicateQuirk). The rewrite cannot
+// duplicate (one map slot per page), and the root golden tests confirm the
+// quirk never reaches observable results in the paper's workloads, so the
+// oracle here checks presence first — otherwise identical.
+func (t *referenceTLB) Fill(p addrspace.PageID) {
+	t.tick++
+	row := t.row(p)
+	for i := range row {
+		if row[i].valid && row[i].page == p {
+			row[i].used = t.tick
+			return
+		}
+	}
+	victim := 0
+	for i := range row {
+		if !row[i].valid {
+			victim = i
+			break
+		}
+		if row[i].used < row[victim].used {
+			victim = i
+		}
+	}
+	row[victim] = refEntry{valid: true, page: p, used: t.tick}
+	t.fills++
+}
+
+func (t *referenceTLB) Invalidate(p addrspace.PageID) bool {
+	row := t.row(p)
+	for i := range row {
+		if row[i].valid && row[i].page == p {
+			row[i].valid = false
+			t.invalides++
+			return true
+		}
+	}
+	return false
+}
+
+func (t *referenceTLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+}
+
+func (t *referenceTLB) Occupancy() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDifferentialAgainstTimestampLRU drives the list-based TLB and the
+// original timestamp implementation with identical randomized operation
+// streams across the paper's geometries and asserts identical observable
+// behaviour: every Lookup result, every Invalidate result, occupancy, and
+// all stats counters. Unique timestamps mean the reference has no LRU ties,
+// so any divergence is a real behaviour change in the rewrite.
+func TestDifferentialAgainstTimestampLRU(t *testing.T) {
+	geometries := []struct{ entries, ways int }{
+		{128, 128}, // paper L1: fully associative
+		{512, 16},  // paper L2: 16-way
+		{16, 1},    // direct mapped
+		{8, 2},     // tiny, high conflict
+	}
+	for _, g := range geometries {
+		rng := rand.New(rand.NewSource(int64(g.entries*31 + g.ways)))
+		fast := New("fast", g.entries, g.ways)
+		ref := newReferenceTLB(g.entries, g.ways)
+		// Small page universe forces heavy set conflict and reuse.
+		universe := g.entries * 3
+		for op := 0; op < 20000; op++ {
+			p := addrspace.PageID(rng.Intn(universe))
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // 40% lookups
+				if fast.Lookup(p) != ref.Lookup(p) {
+					t.Fatalf("%dx%d op %d: Lookup(%d) diverges", g.entries, g.ways, op, p)
+				}
+			case 4, 5, 6, 7: // 40% fills
+				fast.Fill(p)
+				ref.Fill(p)
+			case 8: // 10% shootdowns
+				if fast.Invalidate(p) != ref.Invalidate(p) {
+					t.Fatalf("%dx%d op %d: Invalidate(%d) diverges", g.entries, g.ways, op, p)
+				}
+			default: // rare flush
+				if rng.Intn(50) == 0 {
+					fast.Flush()
+					ref.Flush()
+				}
+			}
+			if fast.Occupancy() != ref.Occupancy() {
+				t.Fatalf("%dx%d op %d: occupancy diverges: %d vs %d",
+					g.entries, g.ways, op, fast.Occupancy(), ref.Occupancy())
+			}
+		}
+		h, m, f, inv := fast.Stats()
+		if h != ref.hits || m != ref.misses || f != ref.fills || inv != ref.invalides {
+			t.Fatalf("%dx%d stats diverge: fast %d/%d/%d/%d, ref %d/%d/%d/%d",
+				g.entries, g.ways, h, m, f, inv, ref.hits, ref.misses, ref.fills, ref.invalides)
+		}
+	}
+}
+
+// TestOriginalFillDuplicateQuirk pins the one intentional behaviour change
+// of the O(1) rewrite: re-filling a resident page whose row has an earlier
+// invalid way no longer creates a duplicate entry. The original scan broke
+// at the first invalid way before discovering the page was already resident,
+// leaving two copies — and after a shootdown of the first copy, the stale
+// second copy could still hit. The rewrite keeps exactly one entry per page.
+func TestOriginalFillDuplicateQuirk(t *testing.T) {
+	tl := New("t", 4, 4)
+	tl.Fill(0)
+	tl.Fill(1)
+	tl.Invalidate(0) // way 0 invalid, page 1 still resident at way 1
+	tl.Fill(1)       // original duplicated page 1 into way 0; rewrite refreshes
+	if got := tl.Occupancy(); got != 1 {
+		t.Fatalf("occupancy after re-fill = %d, want 1 (no duplicate)", got)
+	}
+	if !tl.Invalidate(1) {
+		t.Fatal("page 1 missing")
+	}
+	if tl.Lookup(1) {
+		t.Fatal("stale duplicate of page 1 survived its shootdown")
+	}
+	_, _, fills, _ := tl.Stats()
+	if fills != 2 {
+		t.Fatalf("fills = %d, want 2 (re-fill of a resident page is a refresh)", fills)
+	}
+}
+
+// BenchmarkInvalidateShootdown measures the eviction-shootdown pattern that
+// dominated pre-rewrite profiles: probing for pages mostly absent from the
+// TLB (an eviction invalidates one L2 and all 15 SM L1s, and most L1s do not
+// hold the page).
+func BenchmarkInvalidateShootdown(b *testing.B) {
+	tl := New("bench", 128, 128)
+	for i := 0; i < 64; i++ {
+		tl.Fill(addrspace.PageID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := addrspace.PageID(i % 4096)
+		if tl.Invalidate(p) {
+			tl.Fill(p)
+		}
+	}
+}

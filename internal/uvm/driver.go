@@ -104,6 +104,16 @@ type pendingFault struct {
 	done      bool // resolved early by a block prefetch
 }
 
+// serviceDoneEvent fires when a channel finishes servicing a fault:
+// a0 = index into Driver.faults. Scheduling by registered handler keeps the
+// per-fault event allocation-free (the driver used to allocate one closure
+// per serviced fault).
+type serviceDoneEvent Driver
+
+func (e *serviceDoneEvent) OnEvent(a0, _ uint64) {
+	(*Driver)(e).complete(int32(a0))
+}
+
 // Driver is the host-side UVM runtime.
 type Driver struct {
 	cfg    Config
@@ -117,9 +127,17 @@ type Driver struct {
 	// stale TLB entries.
 	invalidate func(addrspace.PageID)
 
-	queue    []*pendingFault                    // waiting, FIFO
-	inFlight map[addrspace.PageID]*pendingFault // waiting + in service
-	busy     int                                // channels in use
+	// Faults live in a slice-backed store with a free list; the queue and
+	// the in-flight index refer to them by index. This keeps fault-heavy
+	// runs from allocating one node per fault and gives the GC nothing to
+	// chase once wakeup closures are recycled through wakePool.
+	faults    []pendingFault
+	faultFree []int32
+	queue     []int32                    // waiting, FIFO
+	inFlight  map[addrspace.PageID]int32 // waiting + in service
+	wakePool  [][]func()                 // recycled wakeup slices
+	hDone     sim.HandlerID              // serviceDoneEvent registration
+	busy      int                        // channels in use
 
 	probe probe.Probe // nil unless instrumented
 	stats Stats
@@ -143,8 +161,9 @@ func New(cfg Config, engine *sim.Engine, memory *mem.DeviceMemory, pol policy.Po
 		pol:        pol,
 		hirC:       hirCache,
 		invalidate: invalidate,
-		inFlight:   make(map[addrspace.PageID]*pendingFault),
+		inFlight:   make(map[addrspace.PageID]int32),
 	}
+	d.hDone = engine.Register((*serviceDoneEvent)(d))
 	if sink, ok := pol.(HitBatchReceiver); ok {
 		d.sink = sink
 	}
@@ -180,7 +199,8 @@ func (d *Driver) Fault(p addrspace.PageID, seq int, wake func()) {
 		wake()
 		return
 	}
-	if f, ok := d.inFlight[p]; ok {
+	if fi, ok := d.inFlight[p]; ok {
+		f := &d.faults[fi]
 		f.wakeups = append(f.wakeups, wake)
 		d.stats.Coalesced++
 		if d.probe != nil {
@@ -188,9 +208,11 @@ func (d *Driver) Fault(p addrspace.PageID, seq int, wake func()) {
 		}
 		return
 	}
-	f := &pendingFault{page: p, seq: seq, enq: d.engine.Now(), wakeups: []func(){wake}}
-	d.queue = append(d.queue, f)
-	d.inFlight[p] = f
+	fi := d.allocFault()
+	f := &d.faults[fi]
+	*f = pendingFault{page: p, seq: seq, enq: d.engine.Now(), wakeups: d.allocWakeups(wake)}
+	d.queue = append(d.queue, fi)
+	d.inFlight[p] = fi
 	if len(d.queue) > d.stats.MaxQueueDepth {
 		d.stats.MaxQueueDepth = len(d.queue)
 	}
@@ -200,6 +222,36 @@ func (d *Driver) Fault(p addrspace.PageID, seq int, wake func()) {
 	d.pump()
 }
 
+// allocFault returns a free fault-store index.
+func (d *Driver) allocFault() int32 {
+	if n := len(d.faultFree); n > 0 {
+		fi := d.faultFree[n-1]
+		d.faultFree = d.faultFree[:n-1]
+		return fi
+	}
+	d.faults = append(d.faults, pendingFault{})
+	return int32(len(d.faults) - 1)
+}
+
+// allocWakeups returns a recycled wakeup slice seeded with wake.
+func (d *Driver) allocWakeups(wake func()) []func() {
+	if n := len(d.wakePool); n > 0 {
+		ws := d.wakePool[n-1]
+		d.wakePool = d.wakePool[:n-1]
+		return append(ws, wake)
+	}
+	return append(make([]func(), 0, 4), wake)
+}
+
+// runWakeups fires and recycles a fault's wakeup slice.
+func (d *Driver) runWakeups(ws []func()) {
+	for i, wake := range ws {
+		ws[i] = nil // drop closure refs before pooling
+		wake()
+	}
+	d.wakePool = append(d.wakePool, ws[:0])
+}
+
 // pump dispatches queued faults onto free channels.
 func (d *Driver) pump() {
 	frac := d.cfg.HostBusyFraction
@@ -207,15 +259,17 @@ func (d *Driver) pump() {
 		frac = 1
 	}
 	for d.busy < d.cfg.Channels && len(d.queue) > 0 {
-		f := d.queue[0]
+		fi := d.queue[0]
 		d.queue = d.queue[1:]
+		f := &d.faults[fi]
 		if f.done {
-			continue // resolved early by a block prefetch
+			d.faultFree = append(d.faultFree, fi) // resolved early by a block prefetch
+			continue
 		}
 		f.inService = true
 		d.busy++
 		d.stats.BusyCycles += sim.Cycle(float64(d.cfg.FaultLatency) * frac)
-		d.engine.After(d.cfg.FaultLatency, func() { d.complete(f) })
+		d.engine.ScheduleAfter(d.cfg.FaultLatency, d.hDone, uint64(fi), 0)
 	}
 }
 
@@ -234,7 +288,8 @@ func (d *Driver) prefetch(page addrspace.PageID, seq int) {
 		if p == page || d.memory.Resident(p) {
 			continue
 		}
-		if f, pending := d.inFlight[p]; pending {
+		if fj, pending := d.inFlight[p]; pending {
+			f := &d.faults[fj]
 			if f.inService {
 				// Its service channel owns it; resolving here would race.
 				continue
@@ -257,9 +312,9 @@ func (d *Driver) prefetch(page addrspace.PageID, seq int) {
 				now := d.engine.Now()
 				d.probe.Emit(probe.FaultEnd(now, p, f.seq, now-f.enq, true))
 			}
-			for _, wake := range f.wakeups {
-				wake()
-			}
+			ws := f.wakeups
+			f.wakeups = nil
+			d.runWakeups(ws)
 			brought++
 			continue
 		}
@@ -303,7 +358,8 @@ func (d *Driver) evictIfFull(trigger addrspace.PageID) bool {
 // complete finishes one fault: evict if full, map the page, notify the
 // policy, wake the waiting warps, handle the periodic HIR drain, then free
 // the channel.
-func (d *Driver) complete(f *pendingFault) {
+func (d *Driver) complete(fi int32) {
+	f := &d.faults[fi]
 	d.pol.OnFault(f.page, f.seq)
 	if d.memory.Full() {
 		victim := d.pol.SelectVictim()
@@ -330,11 +386,16 @@ func (d *Driver) complete(f *pendingFault) {
 		d.probe.Emit(probe.FaultEnd(now, f.page, f.seq, now-f.enq, false))
 	}
 
-	d.prefetch(f.page, f.seq)
+	// Copy out before prefetch/wakeups: both may allocate new faults and
+	// grow the store, invalidating f.
+	page, seq := f.page, f.seq
+	ws := f.wakeups
+	f.wakeups = nil
+	d.faultFree = append(d.faultFree, fi)
 
-	for _, wake := range f.wakeups {
-		wake()
-	}
+	d.prefetch(page, seq)
+
+	d.runWakeups(ws)
 
 	// Periodic HIR drain: every TransferInterval-th serviced fault the HIR
 	// contents cross PCIe; the transfer occupies this channel before it can
