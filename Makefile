@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint race race-probe serve-check fuzz-seed bench bench-probe bench-json bench-smoke clean
+.PHONY: all check build test vet lint spec-goldens race race-probe serve-check fuzz-seed bench bench-probe bench-json bench-smoke clean
 
 all: check
 
-check: build vet lint test race race-probe serve-check fuzz-seed bench-smoke
+check: build vet lint spec-goldens test race race-probe serve-check fuzz-seed bench-smoke
 
 # Tier-1 verify (ROADMAP.md).
 build:
@@ -28,6 +28,14 @@ vet:
 # with `//lint:ignore hpelint/<analyzer> reason`.
 lint:
 	$(GO) build ./cmd/hpelint && ./hpelint ./...
+
+# RunSpec identity goldens (DESIGN.md §12): the committed canonical-JSON +
+# Spec.ID() fixtures must match exactly — a drift means cached results and
+# client-side run IDs silently diverge. Deliberate spec changes bump
+# runspec.IDVersion and regenerate with
+# `go test ./internal/runspec/ -run SpecGoldens -update-spec-goldens`.
+spec-goldens:
+	$(GO) test -run SpecGoldens -count=1 ./internal/runspec/
 
 # The experiment suite's shared-cache paths under the race detector (~35 s).
 race:

@@ -176,21 +176,11 @@ func buildProbeFactory(traceDir string, metrics bool) func(experiments.RunInfo) 
 	}
 }
 
-// runLabel renders a RunInfo as a filesystem-safe run name.
+// runLabel renders a RunInfo as a filesystem-safe run name — the spec's
+// canonical slug, so trace files are named consistently with every other
+// layer's run identity.
 func runLabel(info experiments.RunInfo) string {
-	label := fmt.Sprintf("%s_%s_%d", info.App, info.Policy, info.RatePct)
-	if info.Variant != "" {
-		label += "_" + info.Variant
-	}
-	return strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
-			r == '_', r == '-', r == '.':
-			return r
-		default:
-			return '-'
-		}
-	}, label)
+	return info.Spec.Slug()
 }
 
 // metricsReporter prints the metrics snapshot when the run completes. Under

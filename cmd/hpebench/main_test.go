@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hpe/internal/experiments"
+	"hpe/internal/runspec"
 )
 
 func TestEncodeReportsClampsNonFinite(t *testing.T) {
@@ -108,14 +109,18 @@ func TestWriteJSONBadPath(t *testing.T) {
 }
 
 func TestRunLabel(t *testing.T) {
-	cases := map[experiments.RunInfo]string{
-		{App: "HSD", Policy: "lru", RatePct: 75}:                       "HSD_lru_75",
-		{App: "B+T", Policy: "hpe", RatePct: 50, Variant: "walk 20"}:   "B-T_hpe_50_walk-20",
-		{App: "S/D", Policy: "clockpro", RatePct: 100, Variant: "a.b"}: "S-D_clockpro_100_a.b",
+	cases := []struct {
+		spec runspec.Spec
+		want string
+	}{
+		{runspec.Spec{App: "HSD", Policy: "lru", Rate: 75}, "HSD_lru_75"},
+		{runspec.Spec{App: "B+T", Policy: "hpe", Rate: 50,
+			Tuning: runspec.Tuning{WalkLatency: 20}}, "B-T_hpe_50_walk20"},
+		{runspec.Spec{App: "SAD", Policy: "clock-pro", Rate: 100, Channels: 4}, "SAD_clockpro_100_ch4"},
 	}
-	for info, want := range cases {
-		if got := runLabel(info); got != want {
-			t.Errorf("runLabel(%+v) = %q, want %q", info, got, want)
+	for _, c := range cases {
+		if got := runLabel(experiments.RunInfo{Spec: c.spec}); got != c.want {
+			t.Errorf("runLabel(%+v) = %q, want %q", c.spec, got, c.want)
 		}
 	}
 }
@@ -132,7 +137,7 @@ func TestBuildProbeFactoryTrace(t *testing.T) {
 	if factory == nil {
 		t.Fatal("nil factory with -trace set")
 	}
-	p := factory(experiments.RunInfo{App: "HSD", Policy: "lru", RatePct: 75})
+	p := factory(experiments.RunInfo{Spec: runspec.Spec{App: "HSD", Policy: "lru", Rate: 75}})
 	if p == nil {
 		t.Fatal("factory returned no probe")
 	}

@@ -1,6 +1,12 @@
 // Command hpesim runs one workload under one eviction policy at one
 // oversubscription rate and prints the simulation metrics.
 //
+// The catalog flags are the CLI surface of the canonical run spec
+// (internal/runspec): flags build a Spec, the Spec is content-addressed and
+// materialized exactly as the experiment suite and hped materialize it, and
+// hpe.Run executes it — so an hpesim invocation, a POST /v1/runs body, and a
+// suite cell describing the same run share one identity.
+//
 // Usage:
 //
 //	hpesim -app HSD -policy hpe -rate 75
@@ -14,33 +20,27 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"os/signal"
 	"strings"
 
 	"hpe"
 	"hpe/internal/gpu"
+	"hpe/internal/runspec"
 	"hpe/internal/sim"
 	"hpe/internal/trace"
-	"hpe/internal/workload"
 )
 
 func loadTrace(r io.Reader) (*hpe.Trace, error) { return trace.Read(r) }
 
 func main() {
-	appAbbr := flag.String("app", "HSD", "workload abbreviation (see -list)")
+	var fl runspec.Flags
+	fl.Register(flag.CommandLine)
 	tracePath := flag.String("trace", "", "run a trace file instead of a catalog workload")
-	policies := flag.String("policy", "hpe", "comma-separated policy names (see -policies)")
-	rate := flag.Int("rate", 75, "oversubscription rate in percent (memory = rate% of footprint)")
 	list := flag.Bool("list", false, "list catalog workloads and exit")
 	listPolicies := flag.Bool("policies", false, "list registered eviction policies and exit")
 	metrics := flag.Bool("metrics", false, "attach a metrics probe and print per-event histograms")
 	verbose := flag.Bool("v", false, "print extended statistics")
-	prefetch := flag.Int("prefetch", 0, "extra pages migrated per fault from the same 64-KB block")
-	channels := flag.Int("channels", 1, "parallel fault-service channels in the driver")
-	design := flag.String("design", "l2tlb", "address translation design: l2tlb or pwc")
-	datapath := flag.Bool("datapath", false, "model the Table I data hierarchy (L1D/L2/GDDR5)")
 	flag.Parse()
 
 	if *list {
@@ -55,36 +55,6 @@ func main() {
 		}
 		return
 	}
-	if *rate <= 0 || *rate > 100 {
-		fatalf("rate %d out of (0,100]", *rate)
-	}
-
-	var tr *hpe.Trace
-	var app hpe.App
-	haveApp := false
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
-		if err != nil {
-			fatalf("open trace: %v", err)
-		}
-		defer f.Close()
-		tr, err = loadTrace(f)
-		if err != nil {
-			fatalf("read trace: %v", err)
-		}
-	} else {
-		var ok bool
-		app, ok = hpe.WorkloadByAbbr(*appAbbr)
-		if !ok {
-			fatalf("unknown workload %q (use -list)", *appAbbr)
-		}
-		haveApp = true
-		tr = app.Generate()
-	}
-
-	capacity := int(math.Ceil(float64(tr.Footprint()) * float64(*rate) / 100))
-	fmt.Printf("workload %s: %d refs, %d pages footprint (%.1f MB), memory %d pages (%d%%)\n",
-		tr.Name, tr.Len(), tr.Footprint(), float64(tr.FootprintBytes())/(1<<20), capacity, *rate)
 
 	// Ctrl-C stops the current simulation at its next cancellation poll and
 	// skips the remaining policies; a second Ctrl-C kills outright.
@@ -95,55 +65,124 @@ func main() {
 		stop()
 	}()
 
-	for _, name := range strings.Split(*policies, ",") {
-		name = strings.TrimSpace(strings.ToLower(name))
-		cfg := hpe.SystemConfig(capacity)
-		if haveApp && app.ComputeGap > 0 {
-			cfg.ComputeGap = sim.Cycle(app.ComputeGap)
-		}
-		cfg.Driver.PrefetchPages = *prefetch
-		cfg.Driver.Channels = *channels
-		cfg.ModelDataPath = *datapath
-		switch strings.ToLower(*design) {
-		case "l2tlb":
-		case "pwc":
-			cfg.Translation = gpu.DesignPWC
-		default:
-			fatalf("unknown translation design %q (l2tlb or pwc)", *design)
-		}
-		popts := []hpe.PolicyOption{
-			hpe.WithPolicySeed(1),
-			hpe.WithCapacity(capacity),
-			hpe.WithTrace(tr),
-		}
-		if haveApp && app.Pattern == workload.PatternThrashing {
-			popts = append(popts, hpe.WithThrashingRRIP())
-		}
-		pol, err := hpe.NewPolicy(name, popts...)
+	if *tracePath != "" {
+		runTraceFile(ctx, fl, *tracePath, *metrics, *verbose)
+		return
+	}
+
+	// Catalog mode: each -policy entry is one run spec; the shared env
+	// generates the (scaled) workload's trace once across the policy list.
+	specs := make([]hpe.RunSpec, 0, 4)
+	for _, name := range strings.Split(fl.Policy, ",") {
+		f := fl
+		f.Policy = strings.TrimSpace(name)
+		sp, err := f.Spec().Canonicalize()
 		if err != nil {
 			fatalf("%v", err)
 		}
-		ropts := []hpe.RunOption{hpe.WithContext(ctx)}
-		if info, ok := hpe.LookupPolicy(name); ok && info.NeedsHIR {
-			ropts = append(ropts, hpe.WithHIR())
+		specs = append(specs, sp)
+	}
+	traces := make(map[string]*hpe.Trace)
+	env := hpe.RunEnv{Trace: func(a hpe.App) *hpe.Trace {
+		key := fmt.Sprintf("%s/%d", a.Abbr, a.Sets)
+		if tr, ok := traces[key]; ok {
+			return tr
 		}
+		tr := a.Generate()
+		tr.Footprint()
+		traces[key] = tr
+		return tr
+	}}
+
+	app, _ := hpe.WorkloadByAbbr(specs[0].App) // canonical spec: cannot fail
+	tr := env.Trace(app.Scaled(specs[0].Scale))
+	printBanner(tr, specs[0].Rate)
+
+	for _, sp := range specs {
+		ropts := []hpe.RunOption{hpe.WithContext(ctx), hpe.WithRunEnv(env)}
 		var m *hpe.MetricsProbe
 		if *metrics {
 			m = hpe.NewMetricsProbe()
 			ropts = append(ropts, hpe.WithProbe(m))
 		}
-		res := hpe.Simulate(cfg, tr, pol, ropts...)
-		if res.Cancelled {
-			fmt.Fprintln(os.Stderr, "hpesim: interrupted")
-			os.Exit(130)
+		res, err := hpe.Run(sp, ropts...)
+		if err != nil {
+			fatalf("%v", err)
 		}
-		fmt.Println(res)
-		if *verbose {
-			printDetails(res)
+		report(res, m, *verbose)
+	}
+}
+
+// runTraceFile is the pre-generated-trace path: the reference string comes
+// from a file instead of the workload catalog, so there is no spec identity —
+// the run is assembled by hand on the same flag values.
+func runTraceFile(ctx context.Context, fl runspec.Flags, path string, metrics, verbose bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	tr, err := loadTrace(f)
+	if err != nil {
+		fatalf("read trace: %v", err)
+	}
+	if fl.Rate <= 0 || fl.Rate > 100 {
+		fatalf("rate %d out of (0,100]", fl.Rate)
+	}
+	capacity := runspec.CapacityFor(tr, fl.Rate)
+	printBanner(tr, fl.Rate)
+	for _, name := range strings.Split(fl.Policy, ",") {
+		name = strings.TrimSpace(strings.ToLower(name))
+		cfg := hpe.SystemConfig(capacity)
+		cfg.Driver.PrefetchPages = fl.Prefetch
+		cfg.Driver.Channels = fl.Channels
+		cfg.ModelDataPath = fl.DataPath
+		cfg.MaxCycles = sim.Cycle(fl.MaxCycles)
+		switch strings.ToLower(fl.Design) {
+		case "", "l2tlb":
+		case "pwc":
+			cfg.Translation = gpu.DesignPWC
+		default:
+			fatalf("unknown translation design %q (l2tlb or pwc)", fl.Design)
 		}
-		if m != nil {
-			fmt.Println("  probe: " + strings.ReplaceAll(m.Snapshot().String(), "\n", "\n  "))
+		pol, err := hpe.NewPolicy(name,
+			hpe.WithPolicySeed(fl.Seed),
+			hpe.WithCapacity(capacity),
+			hpe.WithTrace(tr))
+		if err != nil {
+			fatalf("%v", err)
 		}
+		ropts := []hpe.RunOption{hpe.WithContext(ctx)}
+		if info, ok := hpe.LookupPolicy(name); ok && info.NeedsHIR && fl.HIR != "off" {
+			ropts = append(ropts, hpe.WithHIR())
+		}
+		var m *hpe.MetricsProbe
+		if metrics {
+			m = hpe.NewMetricsProbe()
+			ropts = append(ropts, hpe.WithProbe(m))
+		}
+		report(hpe.Simulate(cfg, tr, pol, ropts...), m, verbose)
+	}
+}
+
+func printBanner(tr *hpe.Trace, rate int) {
+	capacity := runspec.CapacityFor(tr, rate)
+	fmt.Printf("workload %s: %d refs, %d pages footprint (%.1f MB), memory %d pages (%d%%)\n",
+		tr.Name, tr.Len(), tr.Footprint(), float64(tr.FootprintBytes())/(1<<20), capacity, rate)
+}
+
+// report prints one run's result block, exiting 130 on interruption.
+func report(res hpe.Result, m *hpe.MetricsProbe, verbose bool) {
+	if res.Cancelled {
+		fmt.Fprintln(os.Stderr, "hpesim: interrupted")
+		os.Exit(130)
+	}
+	fmt.Println(res)
+	if verbose {
+		printDetails(res)
+	}
+	if m != nil {
+		fmt.Println("  probe: " + strings.ReplaceAll(m.Snapshot().String(), "\n", "\n  "))
 	}
 }
 

@@ -40,6 +40,8 @@ import (
 	"hpe/internal/gpu"
 	hpecore "hpe/internal/hpe"
 	"hpe/internal/policy"
+	"hpe/internal/probe"
+	"hpe/internal/runspec"
 	"hpe/internal/trace"
 	"hpe/internal/workload"
 )
@@ -79,6 +81,16 @@ type (
 	SuiteOptions = experiments.Options
 	// Report is one experiment's rendered output and headline metrics.
 	Report = experiments.Report
+	// RunSpec is the canonical, content-addressed description of one
+	// simulation — the same identity the experiment suite, hped, and the
+	// CLIs share. Build one, then hand it to Run. See DESIGN.md §12.
+	RunSpec = runspec.Spec
+	// RunTuning is the RunSpec's sensitivity-knob block (suite-internal
+	// studies; the zero value is the paper configuration).
+	RunTuning = runspec.Tuning
+	// RunEnv supplies trace/future-index caches to Run; the zero value
+	// generates everything on demand.
+	RunEnv = runspec.Env
 )
 
 // Pattern type constants (Fig. 2).
@@ -103,7 +115,11 @@ func WorkloadByAbbr(abbr string) (App, bool) { return workload.ByAbbr(abbr) }
 func WorkloadsByPattern(p PatternType) []App { return workload.ByPattern(p) }
 
 // SystemConfig returns the paper's Table I system with the given
-// device-memory capacity in pages.
+// device-memory capacity in pages. Spec-driven callers should prefer
+// hpe.Run, which derives the config from the RunSpec; this constructor is
+// for hand-assembled Simulate calls.
+//
+//lint:ignore hpelint/specsource public facade constructor for hand-assembled Simulate calls; spec-driven paths use runspec.Materialize
 func SystemConfig(memoryPages int) Config { return gpu.DefaultConfig(memoryPages) }
 
 // Simulate runs one trace under one policy on the Table I system. Run
@@ -134,6 +150,70 @@ func Simulate(cfg Config, tr *Trace, pol Policy, opts ...RunOption) Result {
 func SimulateHPE(cfg Config, tr *Trace, hpeCfg HPEConfig, opts ...RunOption) Result {
 	opts = append(opts, WithHIR())
 	return Simulate(cfg, tr, hpecore.New(hpeCfg), opts...)
+}
+
+// Run executes one canonical run description end to end: the spec is
+// canonicalized, materialized into (workload, trace, system config, policy),
+// and simulated. This is the entry point the CLIs and hped share — the same
+// spec produces the same simulation everywhere, cached under Spec.ID():
+//
+//	r, err := hpe.Run(hpe.RunSpec{App: "HSD", Policy: "hpe", Rate: 75})
+//
+// WithRunEnv plugs in long-lived trace caches; WithProbe, WithContext and
+// WithSeed work as in Simulate (WithSeed overrides the spec's seed for the
+// policy instance only — the spec's identity is unchanged). WithHIR is
+// ignored: the spec's canonicalized HIR field decides.
+func Run(sp RunSpec, opts ...RunOption) (Result, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	m, err := sp.Materialize(rc.env)
+	if err != nil {
+		return Result{}, err
+	}
+	return runMaterialized(m, rc), nil
+}
+
+// runMaterialized drives the simulator from a materialized spec, honouring
+// the run-scoped options (probes, reseed, context).
+func runMaterialized(m runspec.Materialized, rc runConfig) Result {
+	reseed(m.Policy, rc.seed)
+	pr := probe.Multi(rc.probes...)
+	var gopts []gpu.Option
+	if pr != nil {
+		gopts = append(gopts, gpu.WithProbe(pr))
+	}
+	if rc.ctx != nil {
+		gopts = append(gopts, gpu.WithContext(rc.ctx))
+	}
+	r := gpu.Run(m.Config, m.Trace, m.Policy, gopts...)
+	flushProbe(pr)
+	return r
+}
+
+// ReplaySpec is the spec-backed replay path: the spec's workload, capacity
+// and policy, replayed timing-free (no TLBs or latencies). Timing-only spec
+// dimensions (design, datapath, max-cycles, tuning latencies) don't apply.
+func ReplaySpec(sp RunSpec, opts ...RunOption) (ReplayResult, error) {
+	var rc runConfig
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	m, err := sp.Materialize(rc.env)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	reseed(m.Policy, rc.seed)
+	pr := probe.Multi(rc.probes...)
+	ctx := rc.ctx
+	if ctx == nil {
+		//lint:ignore hpelint/ctxflow omitting WithContext means "not cancellable" by documented contract; Background keeps the unpolled fast path
+		ctx = context.Background()
+	}
+	r := policy.ReplayContext(ctx, m.Trace, m.Policy, m.Capacity, pr)
+	flushProbe(pr)
+	return r, nil
 }
 
 // Replay runs a timing-free reference-string replay: demand paging only, no

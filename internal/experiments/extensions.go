@@ -4,10 +4,8 @@ import (
 	"fmt"
 
 	"hpe/internal/gpu"
-	"hpe/internal/hpe"
-	"hpe/internal/policy"
+	"hpe/internal/runspec"
 	"hpe/internal/stats"
-	"hpe/internal/trace"
 	"hpe/internal/workload"
 )
 
@@ -16,44 +14,35 @@ import (
 // does not plot (CLOCK, NRU, ARC, FIFO, LFU), a full oversubscription sweep,
 // and the "relaxed division requirement" remark of §V-B.
 
-// extendedKinds are the extra policies in catalog order of pedigree.
-var extendedKinds = []PolicyKind{KindFIFO, KindLFU, KindClock, KindNRU, KindARC}
-
-const (
-	// KindClock, KindNRU and KindARC extend the comparison set with the
-	// related-work policies (CLOCK and NRU as deployed LRU approximations,
-	// ARC as the self-tuning ancestor of CAR/CLOCK-Pro).
-	KindClock PolicyKind = iota + 100
-	KindNRU
-	KindARC
-)
+// extendedPolicies are the extra policies in catalog order of pedigree.
+var extendedPolicies = []string{"fifo", "lfu", "clock", "nru", "arc"}
 
 // ExtendedPolicies compares the related-work policies against LRU, HPE and
 // Ideal at 75% oversubscription (experiment id "ext"). Every policy —
-// including the extension set — now builds through the registry, so this is
-// a plain matrix over kinds.
+// including the extension set — builds through the registry, so this is a
+// plain matrix over policy names.
 func (s *Suite) ExtendedPolicies() Report {
 	header := []string{"app", "LRU"}
-	for _, k := range extendedKinds {
-		header = append(header, k.String())
+	for _, p := range extendedPolicies {
+		header = append(header, display(p))
 	}
 	header = append(header, "HPE", "Ideal=1.0")
 	tb := stats.NewTable(header...)
 	metrics := map[string]float64{}
 	sums := map[string][]float64{}
 	for _, app := range s.apps {
-		ideal := s.Run(app, KindIdeal, 75)
+		ideal := s.Run(app, "ideal", 75)
 		row := []any{app.Abbr}
 		add := func(name string, r gpu.Result) {
 			norm := normalise(r.Evictions, ideal.Evictions)
 			row = append(row, norm)
 			sums[name] = append(sums[name], norm)
 		}
-		add("LRU", s.Run(app, KindLRU, 75))
-		for _, kind := range extendedKinds {
-			add(kind.String(), s.Run(app, kind, 75))
+		add("LRU", s.Run(app, "lru", 75))
+		for _, p := range extendedPolicies {
+			add(display(p), s.Run(app, p, 75))
 		}
-		add("HPE", s.Run(app, KindHPE, 75))
+		add("HPE", s.Run(app, "hpe", 75))
 		row = append(row, 1.0)
 		tb.AddRowf(row...)
 	}
@@ -82,14 +71,14 @@ func (s *Suite) OversubscriptionSweep() Report {
 	metrics := map[string]float64{}
 	base := map[string]float64{}
 	for _, app := range s.apps {
-		base[app.Abbr] = s.Run(app, KindLRU, 100).IPC // compulsory-only; policy-independent
+		base[app.Abbr] = s.Run(app, "lru", 100).IPC // compulsory-only; policy-independent
 	}
 	for _, rate := range SweepRates {
 		var lruS, hpeS, idealS, sp []float64
 		for _, app := range s.apps {
-			lru := s.Run(app, KindLRU, rate)
-			hp := s.Run(app, KindHPE, rate)
-			ideal := s.Run(app, KindIdeal, rate)
+			lru := s.Run(app, "lru", rate)
+			hp := s.Run(app, "hpe", rate)
+			ideal := s.Run(app, "ideal", rate)
 			b := base[app.Abbr]
 			lruS = append(lruS, b/lru.IPC)
 			hpeS = append(hpeS, b/hp.IPC)
@@ -125,24 +114,17 @@ func (s *Suite) DivisionStudy() Report {
 		for _, rate := range Rates {
 			row := []any{fmt.Sprintf("%s@%d%%", abbr, rate)}
 			for i, th := range thresholds {
-				th := th
-				r := s.RunVariant(app, KindHPE, rate, fmt.Sprintf("div%d", th),
-					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-						cfg := s.simConfig(app, capacity, KindHPE)
-						hc := hpe.DefaultConfig()
-						hc.DivisionCounterThreshold = th
-						return cfg, hpe.New(hc)
-					})
+				// Threshold 0 means "check at the counter cap" — the paper
+				// default, so that spec canonicalizes to the plain HPE run.
+				sp := s.spec(app, "hpe", rate)
+				sp.Tuning = runspec.Tuning{HPEDivisionThreshold: th}
+				r := s.RunSpec(sp)
 				row = append(row, fmt.Sprintf("%d", r.Faults))
 				metrics[fmt.Sprintf("faults%d/%s/%s", rate, abbr, labels[i])] = float64(r.Faults)
 			}
-			off := s.RunVariant(app, KindHPE, rate, "divoff",
-				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-					cfg := s.simConfig(app, capacity, KindHPE)
-					hc := hpe.DefaultConfig()
-					hc.DisableDivision = true
-					return cfg, hpe.New(hc)
-				})
+			spOff := s.spec(app, "hpe", rate)
+			spOff.Tuning = runspec.Tuning{HPEDisableDivision: true}
+			off := s.RunSpec(spOff)
 			row = append(row, fmt.Sprintf("%d", off.Faults))
 			metrics[fmt.Sprintf("faults%d/%s/off", rate, abbr)] = float64(off.Faults)
 			tb.AddRowf(row...)
@@ -173,31 +155,22 @@ func (s *Suite) ChannelStudy() Report {
 	channels := []int{1, 2, 4, 8}
 	tb := stats.NewTable("policy", "1 ch", "2 ch", "4 ch", "8 ch")
 	metrics := map[string]float64{}
-	for _, kind := range []PolicyKind{KindLRU, KindHPE} {
+	for _, pol := range []string{"lru", "hpe"} {
 		base := map[string]float64{}
-		row := []any{kind.String()}
+		row := []any{display(pol)}
 		for _, ch := range channels {
 			var norms []float64
 			for _, app := range s.apps {
-				var r gpu.Result
-				if ch == 1 {
-					r = s.Run(app, kind, 75)
-				} else {
-					kindC, chC := kind, ch
-					r = s.RunVariant(app, kindC, 75, fmt.Sprintf("ch%d", chC),
-						func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-							cfg := s.simConfig(app, capacity, kindC)
-							cfg.Driver.Channels = chC
-							return cfg, s.buildPolicy(kindC, app, capacity)
-						})
-				}
+				sp := s.spec(app, pol, 75)
+				sp.Channels = ch // 1 is the default: that spec is the plain run
+				r := s.RunSpec(sp)
 				if ch == 1 {
 					base[app.Abbr] = r.IPC
 				}
 				norms = append(norms, r.IPC/base[app.Abbr])
 			}
 			g := stats.GeoMean(norms)
-			metrics[fmt.Sprintf("%s/%d", kind, ch)] = g
+			metrics[fmt.Sprintf("%s/%d", display(pol), ch)] = g
 			row = append(row, g)
 		}
 		tb.AddRowf(row...)
@@ -219,20 +192,13 @@ func (s *Suite) TranslationStudy() Report {
 	metrics := map[string]float64{}
 	var ratios []float64
 	for _, app := range s.apps {
-		appC := app
-		l2 := s.RunVariant(app, KindLRU, 100, "prepop",
-			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-				cfg := s.simConfig(appC, capacity, KindLRU)
-				cfg.Prepopulate = true
-				return cfg, s.buildPolicy(KindLRU, appC, capacity)
-			})
-		pwc := s.RunVariant(app, KindLRU, 100, "prepop-pwc",
-			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-				cfg := s.simConfig(appC, capacity, KindLRU)
-				cfg.Prepopulate = true
-				cfg.Translation = gpu.DesignPWC
-				return cfg, s.buildPolicy(KindLRU, appC, capacity)
-			})
+		spL2 := s.spec(app, "lru", 100)
+		spL2.Tuning = runspec.Tuning{Prepopulate: true}
+		l2 := s.RunSpec(spL2)
+		spPWC := s.spec(app, "lru", 100)
+		spPWC.Design = "pwc"
+		spPWC.Tuning = runspec.Tuning{Prepopulate: true}
+		pwc := s.RunSpec(spPWC)
 		ratio := pwc.IPC / l2.IPC
 		ratios = append(ratios, ratio)
 		metrics["ratio/"+app.Abbr] = ratio
@@ -261,31 +227,22 @@ func (s *Suite) PrefetchStudy() Report {
 	depths := []int{0, 3, 7, 15}
 	tb := stats.NewTable("policy", "pf=0", "pf=3", "pf=7", "pf=15")
 	metrics := map[string]float64{}
-	for _, kind := range []PolicyKind{KindLRU, KindHPE} {
-		row := []any{kind.String()}
+	for _, pol := range []string{"lru", "hpe"} {
+		row := []any{display(pol)}
 		base := map[string]float64{}
 		for _, pf := range depths {
 			var norms []float64
 			for _, app := range s.apps {
-				var r gpu.Result
-				if pf == 0 {
-					r = s.Run(app, kind, 75)
-				} else {
-					kindC, pfC, appC := kind, pf, app
-					r = s.RunVariant(app, kindC, 75, fmt.Sprintf("pf%d", pfC),
-						func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-							cfg := s.simConfig(appC, capacity, kindC)
-							cfg.Driver.PrefetchPages = pfC
-							return cfg, s.buildPolicy(kindC, appC, capacity)
-						})
-				}
+				sp := s.spec(app, pol, 75)
+				sp.Prefetch = pf // 0 is the default: that spec is the plain run
+				r := s.RunSpec(sp)
 				if pf == 0 {
 					base[app.Abbr] = r.IPC
 				}
 				norms = append(norms, r.IPC/base[app.Abbr])
 			}
 			g := stats.GeoMean(norms)
-			metrics[fmt.Sprintf("%s/%d", kind, pf)] = g
+			metrics[fmt.Sprintf("%s/%d", display(pol), pf)] = g
 			row = append(row, g)
 		}
 		tb.AddRowf(row...)
@@ -309,20 +266,13 @@ func (s *Suite) DataPathStudy() Report {
 	metrics := map[string]float64{}
 	var slows []float64
 	for _, app := range s.apps {
-		appC := app
-		base := s.RunVariant(app, KindLRU, 100, "prepop",
-			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-				cfg := s.simConfig(appC, capacity, KindLRU)
-				cfg.Prepopulate = true
-				return cfg, s.buildPolicy(KindLRU, appC, capacity)
-			})
-		dp := s.RunVariant(app, KindLRU, 100, "prepop-datapath",
-			func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-				cfg := s.simConfig(appC, capacity, KindLRU)
-				cfg.Prepopulate = true
-				cfg.ModelDataPath = true
-				return cfg, s.buildPolicy(KindLRU, appC, capacity)
-			})
+		spBase := s.spec(app, "lru", 100)
+		spBase.Tuning = runspec.Tuning{Prepopulate: true}
+		base := s.RunSpec(spBase)
+		spDP := s.spec(app, "lru", 100)
+		spDP.DataPath = true
+		spDP.Tuning = runspec.Tuning{Prepopulate: true}
+		dp := s.RunSpec(spDP)
 		l1 := rate(dp.DataL1Hits, dp.DataL1Misses)
 		l2 := rate(dp.DataL2Hits, dp.DataL2Misses)
 		row := 0.0
@@ -366,18 +316,10 @@ func (s *Suite) HIRSizeStudy() Report {
 		row := []any{app.Abbr}
 		var ipc128, ipc1024 float64
 		for _, entries := range sizes {
-			var r gpu.Result
-			if entries == 1024 {
-				r = s.Run(app, KindHPE, 75)
-			} else {
-				appC, e := app, entries
-				r = s.RunVariant(app, KindHPE, 75, fmt.Sprintf("hir%d", e),
-					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-						cfg := s.simConfig(appC, capacity, KindHPE)
-						cfg.HIR.Entries = e
-						return cfg, hpe.New(hpe.DefaultConfig())
-					})
-			}
+			// 1024 is the paper default: that spec folds to the plain run.
+			sp := s.spec(app, "hpe", 75)
+			sp.Tuning = runspec.Tuning{HIREntries: entries}
+			r := s.RunSpec(sp)
 			conflicts := uint64(0)
 			if r.HIR != nil {
 				conflicts = r.HIR.Conflicts

@@ -17,9 +17,9 @@ func (s *Suite) Fig3() Report {
 	metrics := map[string]float64{}
 	var lruN, rripN []float64
 	for _, app := range s.apps {
-		ideal := s.Run(app, KindIdeal, 75)
-		lru := s.Run(app, KindLRU, 75)
-		rrip := s.Run(app, KindRRIP, 75)
+		ideal := s.Run(app, "ideal", 75)
+		lru := s.Run(app, "lru", 75)
+		rrip := s.Run(app, "rrip", 75)
 		ln := normalise(lru.Evictions, ideal.Evictions)
 		rn := normalise(rrip.Evictions, ideal.Evictions)
 		lruN = append(lruN, ln)
@@ -58,8 +58,8 @@ func (s *Suite) Fig10() Report {
 	for _, app := range s.apps {
 		row := []any{app.Abbr, app.Pattern.String()}
 		for _, rate := range Rates {
-			lru := s.Run(app, KindLRU, rate)
-			hpe := s.Run(app, KindHPE, rate)
+			lru := s.Run(app, "lru", rate)
+			hpe := s.Run(app, "hpe", rate)
 			sp := stats.Speedup(hpe.IPC, lru.IPC) // IPC ratio: HPE over LRU
 			speedups[rate] = append(speedups[rate], sp)
 			metrics[fmt.Sprintf("speedup%d/%s", rate, app.Abbr)] = sp
@@ -87,8 +87,8 @@ func (s *Suite) Fig11() Report {
 	for _, app := range s.apps {
 		row := []any{app.Abbr, app.Pattern.String()}
 		for _, rate := range Rates {
-			lru := s.Run(app, KindLRU, rate)
-			hpe := s.Run(app, KindHPE, rate)
+			lru := s.Run(app, "lru", rate)
+			hpe := s.Run(app, "hpe", rate)
 			r := normalise(hpe.Evictions, lru.Evictions)
 			ratios[rate] = append(ratios[rate], r)
 			metrics[fmt.Sprintf("ratio%d/%s", rate, app.Abbr)] = r
@@ -114,18 +114,18 @@ func (s *Suite) Fig12() Report {
 	for _, rate := range Rates {
 		perfTb := stats.NewTable(append([]string{"app"}, policyNames()...)...)
 		evTb := stats.NewTable(append([]string{"app"}, policyNames()...)...)
-		perf := map[PolicyKind][]float64{}
-		evs := map[PolicyKind][]float64{}
+		perf := map[string][]float64{}
+		evs := map[string][]float64{}
 		for _, app := range s.apps {
-			ideal := s.Run(app, KindIdeal, rate)
+			ideal := s.Run(app, "ideal", rate)
 			prow := []any{app.Abbr}
 			erow := []any{app.Abbr}
-			for _, kind := range comparisonSet() {
-				r := s.Run(app, kind, rate)
+			for _, pol := range comparisonSet() {
+				r := s.Run(app, pol, rate)
 				p := r.IPC / ideal.IPC
 				e := normalise(r.Evictions, ideal.Evictions)
-				perf[kind] = append(perf[kind], p)
-				evs[kind] = append(evs[kind], e)
+				perf[pol] = append(perf[pol], p)
+				evs[pol] = append(evs[pol], e)
 				prow = append(prow, p)
 				erow = append(erow, e)
 			}
@@ -137,23 +137,23 @@ func (s *Suite) Fig12() Report {
 		b.WriteString(perfTb.Render())
 		b.WriteString("(b) evictions normalised to Ideal\n")
 		b.WriteString(evTb.Render())
-		hpeMean := stats.GeoMean(perf[KindHPE])
+		hpeMean := stats.GeoMean(perf["hpe"])
 		fmt.Fprintf(&b, "means: ")
-		for _, kind := range comparisonSet() {
-			pm := stats.GeoMean(perf[kind])
-			em := stats.Mean(evs[kind])
-			metrics[fmt.Sprintf("perf%d/%s", rate, kind)] = pm
-			metrics[fmt.Sprintf("ev%d/%s", rate, kind)] = em
-			fmt.Fprintf(&b, "%s perf %.3f ev %.3f | ", kind, pm, em)
-			if kind != KindHPE {
-				metrics[fmt.Sprintf("hpeSpeedup%d/%s", rate, kind)] = hpeMean / pm
+		for _, pol := range comparisonSet() {
+			pm := stats.GeoMean(perf[pol])
+			em := stats.Mean(evs[pol])
+			metrics[fmt.Sprintf("perf%d/%s", rate, display(pol))] = pm
+			metrics[fmt.Sprintf("ev%d/%s", rate, display(pol))] = em
+			fmt.Fprintf(&b, "%s perf %.3f ev %.3f | ", display(pol), pm, em)
+			if pol != "hpe" {
+				metrics[fmt.Sprintf("hpeSpeedup%d/%s", rate, display(pol))] = hpeMean / pm
 			}
 		}
 		fmt.Fprintf(&b, "\nHPE speedup over: Random %.2fx, RRIP %.2fx, CLOCK-Pro %.2fx, LRU %.2fx\n\n",
-			metrics[fmt.Sprintf("hpeSpeedup%d/%s", rate, KindRandom)],
-			metrics[fmt.Sprintf("hpeSpeedup%d/%s", rate, KindRRIP)],
-			metrics[fmt.Sprintf("hpeSpeedup%d/%s", rate, KindClockPro)],
-			metrics[fmt.Sprintf("hpeSpeedup%d/%s", rate, KindLRU)])
+			metrics[fmt.Sprintf("hpeSpeedup%d/Random", rate)],
+			metrics[fmt.Sprintf("hpeSpeedup%d/RRIP", rate)],
+			metrics[fmt.Sprintf("hpeSpeedup%d/CLOCK-Pro", rate)],
+			metrics[fmt.Sprintf("hpeSpeedup%d/LRU", rate)])
 	}
 	b.WriteString("paper reports @75%: HPE within 11% of Ideal, 18% more evictions than Ideal;\n")
 	b.WriteString("  speedups 1.16x (random), 1.27x (RRIP), 1.2x (CLOCK-Pro)\n")
@@ -165,14 +165,14 @@ func (s *Suite) Fig12() Report {
 
 // comparisonSet returns the policies shown in Fig. 12 (Ideal is the
 // normalisation baseline and excluded from its own columns).
-func comparisonSet() []PolicyKind {
-	return []PolicyKind{KindLRU, KindRandom, KindRRIP, KindClockPro, KindHPE}
+func comparisonSet() []string {
+	return []string{"lru", "random", "rrip", "clockpro", "hpe"}
 }
 
 func policyNames() []string {
 	var out []string
-	for _, k := range comparisonSet() {
-		out = append(out, k.String())
+	for _, p := range comparisonSet() {
+		out = append(out, display(p))
 	}
 	return out
 }

@@ -16,7 +16,7 @@ func (s *Suite) Fig9() Report {
 	tb := stats.NewTable("app", "pattern", "ratio1", "ratio2", "category", "strategy@start")
 	metrics := map[string]float64{}
 	for _, app := range s.apps {
-		r := s.Run(app, KindHPE, 75)
+		r := s.Run(app, "hpe", 75)
 		if r.HPE == nil || !r.HPE.Classified {
 			tb.AddRow(app.Abbr, app.Pattern.String(), "-", "-", "never full", "-")
 			continue
@@ -56,7 +56,7 @@ func (s *Suite) Fig13() Report {
 	metrics := map[string]float64{}
 	for _, app := range s.apps {
 		for _, rate := range Rates {
-			r := s.Run(app, KindHPE, rate)
+			r := s.Run(app, "hpe", rate)
 			label := fmt.Sprintf("%s@%d%%", app.Abbr, rate)
 			if r.HPE == nil || !r.HPE.Classified {
 				tb.AddRow(label, "never full", "-", "-", "-", "-", "-")
@@ -100,7 +100,7 @@ func (s *Suite) Fig14() Report {
 	var all []float64
 	for _, app := range s.apps {
 		for _, rate := range Rates {
-			r := s.Run(app, KindHPE, rate)
+			r := s.Run(app, "hpe", rate)
 			if r.HPE == nil || r.HPE.Searches == 0 {
 				continue // pure-LRU app: omitted like the paper
 			}
@@ -125,7 +125,7 @@ func (s *Suite) Fig15() Report {
 	tb := stats.NewTable("app", "drains", "avg entries/transfer", "max entries", "conflicts")
 	metrics := map[string]float64{}
 	for _, app := range s.apps {
-		r := s.Run(app, KindHPE, 75)
+		r := s.Run(app, "hpe", 75)
 		if r.HIR == nil {
 			continue
 		}

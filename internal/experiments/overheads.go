@@ -45,18 +45,18 @@ func (s *Suite) Overheads() Report {
 
 	// --- Host core load: driver busy time / total runtime.
 	tb := stats.NewTable("policy", "core load @75%", "core load @50%")
-	for _, kind := range []PolicyKind{KindLRU, KindRRIP, KindClockPro, KindHPE} {
-		row := []string{kind.String()}
+	for _, pol := range []string{"lru", "rrip", "clockpro", "hpe"} {
+		row := []string{display(pol)}
 		for _, rate := range Rates {
 			var loads []float64
 			for _, app := range s.apps {
-				r := s.Run(app, kind, rate)
+				r := s.Run(app, pol, rate)
 				if r.Cycles > 0 {
 					loads = append(loads, float64(r.Driver.BusyCycles)/float64(r.Cycles))
 				}
 			}
 			load := stats.Mean(loads)
-			metrics[fmt.Sprintf("load%d/%s", rate, kind)] = load
+			metrics[fmt.Sprintf("load%d/%s", rate, display(pol))] = load
 			row = append(row, fmt.Sprintf("%.1f%%", load*100))
 		}
 		tb.AddRow(row...)

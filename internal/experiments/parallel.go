@@ -14,26 +14,36 @@ import (
 	"fmt"
 	"sync"
 
-	"hpe/internal/workload"
+	"hpe/internal/runspec"
 )
 
 // flight is one in-progress singleflight computation. The goroutine that
 // claims a key computes the value; later arrivals block on done and read
-// val. ok distinguishes a completed computation from one that panicked.
+// val. ok distinguishes a completed computation from one that panicked;
+// cacheable records the compute function's verdict on whether the value may
+// be published to the memo cache (a cancelled, partial simulation must not
+// be).
 type flight[V any] struct {
-	done chan struct{}
-	val  V
-	ok   bool
+	done      chan struct{}
+	val       V
+	ok        bool
+	cacheable bool
 }
 
 // dedup returns cache[key], computing it at most once across concurrent
 // callers: the first goroutine to ask runs compute with mu released, every
-// other goroutine blocks until the value is published. The returned bool
-// reports whether this caller did the computing (callers use it to emit
-// progress exactly once per cell). If compute panics, the panic propagates
-// to the computing caller and waiters retry the computation themselves.
+// other goroutine blocks until the value is published. compute's second
+// return value decides whether the result enters the cache — an uncacheable
+// result (e.g. a simulation cut short by cancellation) is still handed to
+// this round's waiters but is never visible to later callers, who recompute.
+// The publication decision and the cache write happen under one critical
+// section, so there is no window in which an uncacheable value can be
+// observed in the cache. The returned bool reports whether this caller did
+// the computing (callers use it to emit progress exactly once per cell). If
+// compute panics, the panic propagates to the computing caller and waiters
+// retry the computation themselves.
 func dedup[K comparable, V any](mu *sync.Mutex, cache map[K]V, inflight map[K]*flight[V],
-	key K, compute func() V) (V, bool) {
+	key K, compute func() (V, bool)) (V, bool) {
 	mu.Lock()
 	for {
 		if v, ok := cache[key]; ok {
@@ -57,14 +67,14 @@ func dedup[K comparable, V any](mu *sync.Mutex, cache map[K]V, inflight map[K]*f
 
 	defer func() {
 		mu.Lock()
-		if f.ok {
+		if f.ok && f.cacheable {
 			cache[key] = f.val
 		}
 		delete(inflight, key)
 		mu.Unlock()
 		close(f.done)
 	}()
-	f.val = compute()
+	f.val, f.cacheable = compute()
 	f.ok = true
 	return f.val, true
 }
@@ -157,22 +167,15 @@ feed:
 	return ctx.Err()
 }
 
-// runSpec is one cell of the standard (app, policy, rate) run matrix.
-type runSpec struct {
-	app  workload.App
-	kind PolicyKind
-	rate int
-}
-
 // grid enumerates the standard matrix every figure draws from: the Fig. 12
 // comparison policies at both oversubscription rates, over the suite's
 // catalog, in canonical order.
-func (s *Suite) grid() []runSpec {
-	specs := make([]runSpec, 0, len(s.apps)*len(ComparisonPolicies)*len(Rates))
+func (s *Suite) grid() []runspec.Spec {
+	specs := make([]runspec.Spec, 0, len(s.apps)*len(ComparisonPolicies)*len(Rates))
 	for _, app := range s.apps {
-		for _, kind := range ComparisonPolicies {
+		for _, policy := range ComparisonPolicies {
 			for _, rate := range Rates {
-				specs = append(specs, runSpec{app: app, kind: kind, rate: rate})
+				specs = append(specs, s.spec(app, policy, rate))
 			}
 		}
 	}
@@ -190,8 +193,7 @@ func (s *Suite) Prewarm(workers int) {
 	}
 	specs := s.grid()
 	_ = runPool(s.ctx(), workers, len(specs), func(i int) {
-		sp := specs[i]
-		s.Run(sp.app, sp.kind, sp.rate)
+		s.RunSpec(specs[i])
 	})
 }
 

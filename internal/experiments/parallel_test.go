@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"reflect"
 	"runtime"
 	"sync"
@@ -10,10 +9,8 @@ import (
 	"testing"
 	"time"
 
-	"hpe/internal/addrspace"
-	"hpe/internal/gpu"
-	"hpe/internal/policy"
-	"hpe/internal/trace"
+	"hpe/internal/probe"
+	"hpe/internal/runspec"
 )
 
 // --- singleflight primitive ---------------------------------------------------
@@ -30,9 +27,9 @@ func TestDedupComputesOncePerKey(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 20; i++ {
-				v, _ := dedup(&mu, cache, inflight, "k", func() int {
+				v, _ := dedup(&mu, cache, inflight, "k", func() (int, bool) {
 					computes.Add(1)
-					return 42
+					return 42, true
 				})
 				if v != 42 {
 					t.Error("dedup returned wrong value")
@@ -61,15 +58,62 @@ func TestDedupRecoversFromPanic(t *testing.T) {
 				t.Error("panic did not propagate")
 			}
 		}()
-		dedup(&mu, cache, inflight, "k", func() int { panic("boom") })
+		dedup(&mu, cache, inflight, "k", func() (int, bool) { panic("boom") })
 	}()
 	if len(inflight) != 0 {
 		t.Fatal("panicked flight left in the inflight table")
 	}
 	// The key is reclaimable after the failure.
-	v, computed := dedup(&mu, cache, inflight, "k", func() int { return 7 })
+	v, computed := dedup(&mu, cache, inflight, "k", func() (int, bool) { return 7, true })
 	if v != 7 || !computed {
 		t.Fatalf("retry after panic = (%d, %v), want (7, true)", v, computed)
+	}
+}
+
+// TestDedupUncacheableNeverPublished is the cancellation-semantics contract:
+// a compute that declares its value uncacheable (a cancelled, partial
+// simulation) hands the value to this round's waiters but never publishes it
+// — a later caller recomputes. Concurrent readers racing the uncacheable
+// flight must never observe the poisoned value in the cache.
+func TestDedupUncacheableNeverPublished(t *testing.T) {
+	var mu sync.Mutex
+	cache := map[string]int{}
+	inflight := map[string]*flight[int]{}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				mu.Lock()
+				v, cached := cache["k"]
+				mu.Unlock()
+				if cached && v == -1 {
+					t.Error("uncacheable value observed in the cache")
+					return
+				}
+			}
+		}()
+	}
+	v, computed := dedup(&mu, cache, inflight, "k", func() (int, bool) { return -1, false })
+	if v != -1 || !computed {
+		t.Fatalf("uncacheable compute = (%d, %v), want (-1, true)", v, computed)
+	}
+	wg.Wait()
+	if _, ok := cache["k"]; ok {
+		t.Fatal("uncacheable value was published to the cache")
+	}
+	if len(inflight) != 0 {
+		t.Fatal("inflight entry leaked")
+	}
+	// The key recomputes for the next caller.
+	v, computed = dedup(&mu, cache, inflight, "k", func() (int, bool) { return 9, true })
+	if v != 9 || !computed {
+		t.Fatalf("recompute after uncacheable = (%d, %v), want (9, true)", v, computed)
+	}
+	if cache["k"] != 9 {
+		t.Fatal("cacheable recompute was not published")
 	}
 }
 
@@ -143,45 +187,44 @@ func TestRunPoolDrainsOnPanic(t *testing.T) {
 	waitForGoroutines(t, before)
 }
 
-// TestSuitePanickingPolicyDrains runs a real suite cell whose policy panics
-// on its first eviction under a 4-worker pool: the panic must surface to the
-// Prewarm caller with the pool fully drained, and the poisoned cell must be
-// reclaimable afterwards (dedup drops panicked flights).
-func TestSuitePanickingPolicyDrains(t *testing.T) {
-	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 4})
+// TestSuitePanickingRunDrains runs real suite cells whose probe factory
+// panics under a 4-worker pool: the panic must surface to the caller with
+// the pool fully drained, and the poisoned cells must be reclaimable
+// afterwards (dedup drops panicked flights).
+func TestSuitePanickingRunDrains(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 4,
+		Probe: func(RunInfo) probe.Probe {
+			if failing.Load() {
+				panic("probe factory failed")
+			}
+			return nil
+		}})
 	app, _ := byAbbr(s.apps, "HOT")
+	specs := make([]runspec.Spec, 4)
+	for i := range specs {
+		specs[i] = s.spec(app, "lru", 75)
+		specs[i].Tuning = runspec.Tuning{WalkLatency: 21 + i}
+	}
 	before := runtime.NumGoroutine()
 	func() {
 		defer func() {
 			if recover() == nil {
-				t.Error("panicking policy did not propagate out of the pool")
+				t.Error("panicking run did not propagate out of the pool")
 			}
 		}()
 		_ = runPool(context.Background(), 4, 4, func(i int) {
-			s.RunVariant(app, KindLRU, 75, fmt.Sprintf("failing%d", i),
-				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-					cfg := s.simConfig(app, capacity, KindLRU)
-					return cfg, failOnEvict{Policy: policy.NewLRU()}
-				})
+			s.RunSpec(specs[i])
 		})
 	}()
 	waitForGoroutines(t, before)
-	// The cells are reclaimable: a well-behaved retry of the same keys works.
-	r := s.RunVariant(app, KindLRU, 75, "failing0",
-		func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-			cfg := s.simConfig(app, capacity, KindLRU)
-			return cfg, policy.NewLRU()
-		})
+	// The cells are reclaimable: a well-behaved retry of the same key works.
+	failing.Store(false)
+	r := s.RunSpec(specs[0])
 	if r.Accesses == 0 {
 		t.Fatal("retry after panicked flight produced an empty result")
 	}
-}
-
-// failOnEvict wraps a policy and panics the first time a victim is needed.
-type failOnEvict struct{ policy.Policy }
-
-func (f failOnEvict) SelectVictim() addrspace.PageID {
-	panic("policy failed on first eviction")
 }
 
 // waitForGoroutines waits for the goroutine count to fall back to (or below)
@@ -198,6 +241,57 @@ func waitForGoroutines(t *testing.T, baseline int) {
 	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
 }
 
+// cancellingProbe cancels the suite's context after observing `after`
+// simulation events, forcing a mid-run cancellation.
+type cancellingProbe struct {
+	cancel context.CancelFunc
+	after  int
+	seen   int
+}
+
+func (p *cancellingProbe) Emit(probe.Event) {
+	p.seen++
+	if p.seen == p.after {
+		p.cancel()
+	}
+}
+
+func (p *cancellingProbe) Flush() error { return nil }
+
+// TestCancelledRunNeverCached is the suite half of the cancellation
+// regression: a run cancelled partway must never leave its partial result
+// cached under the spec's ID — a later identical request must recompute, not
+// inherit the truncated simulation.
+func TestCancelledRunNeverCached(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	factoryCalls := 0
+	s := NewSuite(Options{Quick: true, Seed: 1, Context: ctx,
+		Probe: func(RunInfo) probe.Probe {
+			factoryCalls++
+			return &cancellingProbe{cancel: cancel, after: 100}
+		}})
+	app, _ := byAbbr(s.apps, "HOT")
+	r := s.RunSpec(s.spec(app, "lru", 75))
+	if !r.Cancelled {
+		t.Fatal("probe-triggered cancel did not mark the result cancelled")
+	}
+	if n := s.CachedRuns(); n != 0 {
+		t.Fatalf("cancelled run left %d cached results", n)
+	}
+	// The same spec recomputes instead of serving the partial result.
+	r2 := s.RunSpec(s.spec(app, "lru", 75))
+	if factoryCalls != 2 {
+		t.Fatalf("second request ran %d simulations in total, want 2 (no cache hit)", factoryCalls)
+	}
+	if !r2.Cancelled {
+		t.Fatal("recomputation under a cancelled context should cancel again")
+	}
+	if n := s.CachedRuns(); n != 0 {
+		t.Fatalf("recomputed cancelled run left %d cached results", n)
+	}
+}
+
 // --- suite concurrency ---------------------------------------------------------
 
 // TestConcurrentSuiteRace hammers every shared cache — traces, future
@@ -206,9 +300,10 @@ func waitForGoroutines(t *testing.T, baseline int) {
 // proves singleflight semantics: the variant build closure runs once per key
 // no matter how many goroutines request it.
 func TestConcurrentSuiteRace(t *testing.T) {
-	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 4})
+	var simulated atomic.Int32 // probe factory fires once per memoized cell
+	s := NewSuite(Options{Quick: true, Seed: 1, Workers: 4,
+		Probe: func(RunInfo) probe.Probe { simulated.Add(1); return nil }})
 	apps := []string{"HOT", "STN", "SGM"}
-	var builds atomic.Int32
 
 	var wg sync.WaitGroup
 	for w := 0; w < 8; w++ {
@@ -218,22 +313,18 @@ func TestConcurrentSuiteRace(t *testing.T) {
 			for i := 0; i < len(apps); i++ {
 				app, _ := byAbbr(s.apps, apps[(w+i)%len(apps)])
 				s.Trace(app)
-				s.Run(app, KindLRU, 75)
-				s.Run(app, KindIdeal, 75) // exercises the future-index singleflight
-				s.RunVariant(app, KindLRU, 75, "walk20",
-					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-						builds.Add(1)
-						cfg := s.simConfig(app, capacity, KindLRU)
-						cfg.WalkLatency = 20
-						return cfg, policy.NewLRU()
-					})
+				s.Run(app, "lru", 75)
+				s.Run(app, "ideal", 75) // exercises the future-index singleflight
+				sp := s.spec(app, "lru", 75)
+				sp.Tuning = runspec.Tuning{WalkLatency: 20}
+				s.RunSpec(sp)
 			}
 		}(w)
 	}
 	wg.Wait()
 
-	if n := builds.Load(); n != int32(len(apps)) {
-		t.Errorf("variant build ran %d times, want %d (one per app)", n, len(apps))
+	if n := simulated.Load(); n != int32(3*len(apps)) {
+		t.Errorf("simulations ran %d times, want %d (one per cell)", n, 3*len(apps))
 	}
 	// 3 apps × (LRU + Ideal + walk20 variant) = 9 cached cells.
 	if n := s.CachedRuns(); n != 3*len(apps) {

@@ -54,8 +54,11 @@ func TestProbedReportsMatchUnprobed(t *testing.T) {
 			if n != 1 {
 				t.Errorf("workers=%d: probe factory called %d times for %+v", workers, n, info)
 			}
-			if info.App == "" || info.Policy == "" || info.RatePct == 0 {
+			if info.Spec.App == "" || info.Spec.Policy == "" || info.Spec.Rate == 0 || info.ID == "" {
 				t.Errorf("workers=%d: incomplete RunInfo %+v", workers, info)
+			}
+			if info.ID != info.Spec.ID() {
+				t.Errorf("workers=%d: RunInfo.ID %q does not match Spec.ID() %q", workers, info.ID, info.Spec.ID())
 			}
 		}
 		if len(calls) != s.CachedRuns() {
@@ -80,8 +83,8 @@ func TestProbeFactoryMayReturnNil(t *testing.T) {
 		Probe: func(RunInfo) probe.Probe { return nil }})
 	base := NewSuite(Options{Quick: true, Seed: 1})
 	app := s.Apps()[0]
-	a := s.Run(app, KindLRU, 75)
-	b := base.Run(app, KindLRU, 75)
+	a := s.Run(app, "lru", 75)
+	b := base.Run(app, "lru", 75)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("nil-probe run diverged")
 	}
@@ -93,7 +96,7 @@ func TestProbeSurfacesMetricsSnapshot(t *testing.T) {
 	s := NewSuite(Options{Quick: true, Seed: 1,
 		Probe: func(RunInfo) probe.Probe { return probe.NewMetrics() }})
 	app := s.Apps()[0]
-	res := s.Run(app, KindLRU, 75)
+	res := s.Run(app, "lru", 75)
 	if res.Probe == nil {
 		t.Fatal("Result.Probe nil with a metrics factory attached")
 	}

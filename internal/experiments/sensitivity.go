@@ -4,45 +4,22 @@ import (
 	"fmt"
 	"strings"
 
-	"hpe/internal/addrspace"
 	"hpe/internal/gpu"
-	"hpe/internal/hpe"
-	"hpe/internal/policy"
+	"hpe/internal/runspec"
 	"hpe/internal/stats"
-	"hpe/internal/trace"
 	"hpe/internal/workload"
 )
 
-// manualStrategy returns the per-application strategy the paper's
-// sensitivity methodology assigns manually: MRU-C for the regular
-// applications (Types I–III except the KMN/SAD outliers, plus SGM), LRU for
-// the rest.
-func manualStrategy(app workload.App) hpe.Strategy {
-	switch app.Pattern {
-	case workload.PatternStreaming, workload.PatternThrashing:
-		return hpe.StrategyMRUC
-	case workload.PatternPartRepetitive:
-		if app.Abbr == "KMN" || app.Abbr == "SAD" {
-			return hpe.StrategyLRU
-		}
-		return hpe.StrategyMRUC
-	default:
-		if app.Abbr == "SGM" {
-			return hpe.StrategyMRUC
-		}
-		return hpe.StrategyLRU
-	}
-}
-
-// sensitivityHPE builds the Figs. 7–8 HPE variant: dynamic adjustment off,
-// manual strategy, ideal (HIR-free) hit feed.
-func sensitivityHPE(app workload.App, g addrspace.Geometry, interval int) *hpe.HPE {
-	cfg := hpe.ConfigForGeometry(g, interval)
-	cfg.DynamicAdjustment = false
-	cfg.IdealHitFeed = true
-	strat := manualStrategy(app)
-	cfg.ManualStrategy = &strat
-	return hpe.New(cfg)
+// sensitivitySpec builds the Figs. 7–8 HPE variant spec: dynamic adjustment
+// off, manual per-app strategy, ideal (HIR-free) hit feed — all expressed as
+// Tuning knobs so the runs are content-addressed like everything else.
+// Canonicalization folds paper-default knobs away, so e.g. the Fig. 7
+// size-16 cell and the Fig. 8 interval-64 cell hash to the same ID and
+// share one simulation.
+func (s *Suite) sensitivitySpec(app workload.App, shift uint, interval int) runspec.Spec {
+	sp := s.spec(app, "hpe", 75)
+	sp.Tuning = runspec.Tuning{SensitivityHPE: true, SetSizeShift: shift, HPEInterval: interval}
+	return sp
 }
 
 // Fig7 reproduces Fig. 7: HPE's sensitivity to the page-set size (8/16/32
@@ -53,13 +30,7 @@ func (s *Suite) Fig7() Report {
 	return s.sensitivityReport("fig7", "Sensitivity to page-set size (normalised to size 8)",
 		[]string{"size 8", "size 16", "size 32"},
 		func(app workload.App, variant int) gpu.Result {
-			shift := sizes[variant]
-			return s.RunVariant(app, KindHPE, 75, fmt.Sprintf("setsize%d", 1<<shift),
-				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-					cfg := s.simConfig(app, capacity, KindHPE)
-					cfg.UseHIR = false
-					return cfg, sensitivityHPE(app, addrspace.NewGeometry(shift), 64)
-				})
+			return s.RunSpec(s.sensitivitySpec(app, sizes[variant], 64))
 		})
 }
 
@@ -70,13 +41,7 @@ func (s *Suite) Fig8() Report {
 	return s.sensitivityReport("fig8", "Sensitivity to interval length (normalised to 32)",
 		[]string{"interval 32", "interval 64", "interval 128"},
 		func(app workload.App, variant int) gpu.Result {
-			iv := intervals[variant]
-			return s.RunVariant(app, KindHPE, 75, fmt.Sprintf("interval%d", iv),
-				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-					cfg := s.simConfig(app, capacity, KindHPE)
-					cfg.UseHIR = false
-					return cfg, sensitivityHPE(app, addrspace.DefaultGeometry(), iv)
-				})
+			return s.RunSpec(s.sensitivitySpec(app, 4, intervals[variant]))
 		})
 }
 
@@ -136,25 +101,18 @@ func (s *Suite) TransferInterval() Report {
 	metrics := map[string]float64{}
 	base := map[string]float64{}
 	for _, app := range s.apps {
-		r := s.Run(app, KindHPE, 75) // default: interval 16
+		r := s.Run(app, "hpe", 75) // default: interval 16
 		base[app.Abbr] = r.IPC
 	}
 	for _, iv := range intervals {
 		var norms []float64
 		var hirCycles []float64
 		for _, app := range s.apps {
-			var r gpu.Result
-			if iv == 16 {
-				r = s.Run(app, KindHPE, 75)
-			} else {
-				iv := iv
-				r = s.RunVariant(app, KindHPE, 75, fmt.Sprintf("transfer%d", iv),
-					func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-						cfg := s.simConfig(app, capacity, KindHPE)
-						cfg.Driver.TransferInterval = iv
-						return cfg, hpe.New(hpe.DefaultConfig())
-					})
-			}
+			// Interval 16 is the paper default; canonicalization folds it
+			// away, so that cell shares the plain HPE run's ID and cache.
+			sp := s.spec(app, "hpe", 75)
+			sp.Tuning = runspec.Tuning{TransferInterval: iv}
+			r := s.RunSpec(sp)
 			norms = append(norms, r.IPC/base[app.Abbr])
 			hirCycles = append(hirCycles, float64(r.Driver.HIRTransferCycles))
 		}
@@ -172,24 +130,20 @@ func (s *Suite) WalkLatency() Report {
 	tb := stats.NewTable("policy", "geomean IPC walk=8", "geomean IPC walk=20", "delta")
 	metrics := map[string]float64{}
 	var b strings.Builder
-	for _, kind := range []PolicyKind{KindLRU, KindHPE} {
+	for _, pol := range []string{"lru", "hpe"} {
 		var ipc8, ipc20 []float64
 		for _, app := range s.apps {
-			r8 := s.Run(app, kind, 75)
-			kindC := kind
-			r20 := s.RunVariant(app, kind, 75, "walk20",
-				func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy) {
-					cfg := s.simConfig(app, capacity, kindC)
-					cfg.WalkLatency = 20
-					return cfg, s.buildPolicy(kindC, app, capacity)
-				})
+			r8 := s.Run(app, pol, 75)
+			sp := s.spec(app, pol, 75)
+			sp.Tuning = runspec.Tuning{WalkLatency: 20}
+			r20 := s.RunSpec(sp)
 			ipc8 = append(ipc8, r8.IPC)
 			ipc20 = append(ipc20, r20.IPC)
 		}
 		g8, g20 := stats.GeoMean(ipc8), stats.GeoMean(ipc20)
 		delta := (g20 - g8) / g8
-		metrics[fmt.Sprintf("delta/%s", kind)] = delta
-		tb.AddRow(kind.String(), fmt.Sprintf("%.4f", g8), fmt.Sprintf("%.4f", g20),
+		metrics[fmt.Sprintf("delta/%s", display(pol))] = delta
+		tb.AddRow(display(pol), fmt.Sprintf("%.4f", g8), fmt.Sprintf("%.4f", g20),
 			fmt.Sprintf("%+.2f%%", delta*100))
 	}
 	b.WriteString(tb.Render())

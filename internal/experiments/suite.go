@@ -6,97 +6,47 @@
 // DESIGN.md §5 maps each experiment to its paper counterpart; EXPERIMENTS.md
 // records paper-reported vs measured values.
 //
+// # Run identity
+//
+// Every simulation is described by a runspec.Spec and keyed by its
+// content-addressed Spec.ID() — the same canonical identity hped and the
+// CLIs use, so a run cached here is the same run everywhere. Experiment
+// functions build Specs (plain cells via Run, customised cells via RunSpec)
+// and never touch gpu.Config directly; the spec materializer owns every
+// knob.
+//
 // # Concurrency contract
 //
 // A Suite is safe for concurrent use by multiple goroutines. Every memoized
 // cache (traces, Belady future indexes, simulation results) sits behind a
 // single mutex with singleflight deduplication: when two goroutines ask for
 // the same run, one computes it while the other blocks and receives the same
-// value, so each (app, policy, rate, variant) cell is simulated exactly
-// once per Suite regardless of interleaving. Cached values are immutable
-// once published — traces have their lazy footprint primed before they are
-// shared — so readers never observe partial state. Options.Workers sets the
-// parallelism of Prewarm and Reports; because every simulation is
-// deterministic and aggregation walks the caches in canonical (catalog ×
-// paper) order, a parallel run renders byte-identical reports to a serial
-// one. The Progress callback is serialized: it is never invoked
-// concurrently, though line order under Workers > 1 follows completion
-// order, not canonical order.
+// value, so each spec is simulated exactly once per Suite regardless of
+// interleaving. Cached values are immutable once published — traces have
+// their lazy footprint primed before they are shared — so readers never
+// observe partial state. Options.Workers sets the parallelism of Prewarm and
+// Reports; because every simulation is deterministic and aggregation walks
+// the caches in canonical (catalog × paper) order, a parallel run renders
+// byte-identical reports to a serial one. The Progress callback is
+// serialized: it is never invoked concurrently, though line order under
+// Workers > 1 follows completion order, not canonical order.
 package experiments
 
 import (
 	"context"
 	"fmt"
-	"math"
 	"sync"
 
 	"hpe/internal/gpu"
-	"hpe/internal/policy"
 	"hpe/internal/probe"
 	"hpe/internal/registry"
-	"hpe/internal/sim"
+	"hpe/internal/runspec"
 	"hpe/internal/trace"
 	"hpe/internal/workload"
 )
 
-// PolicyKind enumerates the policies the evaluation compares.
-type PolicyKind int
-
-const (
-	// KindLRU is page-level LRU under the ideal feed.
-	KindLRU PolicyKind = iota
-	// KindRandom evicts a uniformly random resident page.
-	KindRandom
-	// KindRRIP is the paper's enhanced RRIP-FP.
-	KindRRIP
-	// KindClockPro is CLOCK-Pro with fixed m_c = 128.
-	KindClockPro
-	// KindIdeal is the offline Belady-MIN upper bound.
-	KindIdeal
-	// KindHPE is the full production HPE: HIR + dynamic adjustment.
-	KindHPE
-	// KindFIFO and KindLFU are extra reference points (not in the paper's
-	// comparison set; used by the ablation benches).
-	KindFIFO
-	KindLFU
-)
-
-// kindNames maps each PolicyKind to its registry name — the suite's only
-// policy-kind table; construction and display strings both go through the
-// registry from here.
-var kindNames = map[PolicyKind]string{
-	KindLRU:      "lru",
-	KindRandom:   "random",
-	KindRRIP:     "rrip",
-	KindClockPro: "clockpro",
-	KindIdeal:    "ideal",
-	KindHPE:      "hpe",
-	KindFIFO:     "fifo",
-	KindLFU:      "lfu",
-	KindClock:    "clock",
-	KindNRU:      "nru",
-	KindARC:      "arc",
-}
-
-// kindName resolves a kind to its registry name.
-func kindName(k PolicyKind) string {
-	name, ok := kindNames[k]
-	if !ok {
-		panic(fmt.Sprintf("experiments: unknown policy kind %d", int(k)))
-	}
-	return name
-}
-
-// String names the policy as the paper does.
-func (k PolicyKind) String() string {
-	if name, ok := kindNames[k]; ok {
-		return registry.DisplayName(name)
-	}
-	return fmt.Sprintf("PolicyKind(%d)", int(k))
-}
-
-// ComparisonPolicies is the paper's Fig. 12 policy set.
-var ComparisonPolicies = []PolicyKind{KindLRU, KindRandom, KindRRIP, KindClockPro, KindHPE, KindIdeal}
+// ComparisonPolicies is the paper's Fig. 12 policy set, by registry name.
+var ComparisonPolicies = []string{"lru", "random", "rrip", "clockpro", "hpe", "ideal"}
 
 // Options scales the experiment suite.
 type Options struct {
@@ -129,17 +79,13 @@ type Options struct {
 }
 
 // RunInfo identifies one simulation of the run matrix, as handed to the
-// Options.Probe factory.
+// Options.Probe factory. It is comparable, so probes may key on it.
 type RunInfo struct {
-	// App is the workload abbreviation ("HSD").
-	App string
-	// Policy is the registry policy name ("lru", "hpe").
-	Policy string
-	// RatePct is the oversubscription rate (75 means 75% of the footprint
-	// fits).
-	RatePct int
-	// Variant labels customised configurations ("" for the default).
-	Variant string
+	// Spec is the canonical description of the run.
+	Spec runspec.Spec
+	// ID is Spec.ID() — the run's cache key here and its content address
+	// everywhere else (hped, replay, the CLIs).
+	ID string
 }
 
 // Suite owns the cached traces and results. See the package comment for the
@@ -155,17 +101,10 @@ type Suite struct {
 	traceWIP  map[string]*flight[*trace.Trace]
 	futures   map[string]*trace.FutureIndex
 	futureWIP map[string]*flight[*trace.FutureIndex]
-	results   map[runKey]gpu.Result
-	runWIP    map[runKey]*flight[gpu.Result]
+	results   map[string]gpu.Result // keyed by Spec.ID()
+	runWIP    map[string]*flight[gpu.Result]
 
 	progressMu sync.Mutex
-}
-
-type runKey struct {
-	app     string
-	kind    PolicyKind
-	ratePct int
-	variant string // "" for the default configuration
 }
 
 // NewSuite builds a suite over the full Table II catalog (or the quick
@@ -177,8 +116,8 @@ func NewSuite(opts Options) *Suite {
 		traceWIP:  make(map[string]*flight[*trace.Trace]),
 		futures:   make(map[string]*trace.FutureIndex),
 		futureWIP: make(map[string]*flight[*trace.FutureIndex]),
-		results:   make(map[runKey]gpu.Result),
-		runWIP:    make(map[runKey]*flight[gpu.Result]),
+		results:   make(map[string]gpu.Result),
+		runWIP:    make(map[string]*flight[gpu.Result]),
 	}
 	if opts.Quick {
 		for _, abbr := range []string{"HOT", "GEM", "HSD", "STN", "PAT", "KMN", "NW", "BFS", "SGM", "B+T"} {
@@ -207,24 +146,36 @@ func (s *Suite) ctx() context.Context {
 }
 
 // Trace returns (and caches) the app's canonical trace. Concurrent callers
-// for the same app share one generation.
+// for the same app share one generation. Scaled variants of an app get
+// their own entries.
 func (s *Suite) Trace(app workload.App) *trace.Trace {
-	tr, _ := dedup(&s.mu, s.traces, s.traceWIP, app.Abbr, func() *trace.Trace {
+	key := fmt.Sprintf("%s/%d", app.Abbr, app.Sets)
+	tr, _ := dedup(&s.mu, s.traces, s.traceWIP, key, func() (*trace.Trace, bool) {
 		tr := app.Generate()
 		// Prime the trace's lazily-memoized footprint before publication:
 		// Footprint() writes its cache on first call, which would race when
 		// workers share the trace.
 		tr.Footprint()
-		return tr
+		return tr, true
 	})
 	return tr
 }
 
 func (s *Suite) future(app workload.App) *trace.FutureIndex {
-	fi, _ := dedup(&s.mu, s.futures, s.futureWIP, app.Abbr, func() *trace.FutureIndex {
-		return trace.BuildFutureIndex(s.Trace(app))
+	key := fmt.Sprintf("%s/%d", app.Abbr, app.Sets)
+	fi, _ := dedup(&s.mu, s.futures, s.futureWIP, key, func() (*trace.FutureIndex, bool) {
+		return trace.BuildFutureIndex(s.Trace(app)), true
 	})
 	return fi
+}
+
+// env is the suite's materialization environment: traces and future indexes
+// flow through the memo caches.
+func (s *Suite) env() runspec.Env {
+	return runspec.Env{
+		Trace:  func(app workload.App) *trace.Trace { return s.Trace(app) },
+		Future: func(app workload.App, _ *trace.Trace) *trace.FutureIndex { return s.future(app) },
+	}
 }
 
 // CachedRuns reports how many simulation results the Suite has memoized.
@@ -234,120 +185,85 @@ func (s *Suite) CachedRuns() int {
 	return len(s.results)
 }
 
-// capacityFor translates an oversubscription rate into a device-memory size:
-// a rate of 75% means 75% of the application footprint fits.
+// capacityFor translates an oversubscription rate into a device-memory size.
 func capacityFor(tr *trace.Trace, ratePct int) int {
-	c := int(math.Ceil(float64(tr.Footprint()) * float64(ratePct) / 100))
-	if c < 1 {
-		c = 1
-	}
-	return c
+	return runspec.CapacityFor(tr, ratePct)
 }
 
-// buildPolicy constructs a fresh policy instance for one run via the
-// registry. The option set is uniform across policies: each builder consumes
-// what it understands (RRIP takes the thrashing preset on Type II apps — the
-// paper's distant insertion with delay threshold 128 — Ideal takes the lazy
-// future index, CLOCK-Pro and ARC the capacity) and ignores the rest.
-func (s *Suite) buildPolicy(kind PolicyKind, app workload.App, capacity int) policy.Policy {
-	opts := []registry.Option{
-		registry.WithSeed(s.opts.Seed + 1),
-		registry.WithCapacity(capacity),
-		registry.WithFutureIndex(func() *trace.FutureIndex { return s.future(app) }),
-	}
-	if app.Pattern == workload.PatternThrashing {
-		opts = append(opts, registry.WithThrashingRRIP())
-	}
-	pol, err := registry.New(kindName(kind), opts...)
+// spec builds the suite's base spec for one (app, policy, rate) cell. The
+// suite's policy seed is Options.Seed+1 (the historical suite seeding; the
+// golden results.json pins it).
+func (s *Suite) spec(app workload.App, policy string, ratePct int) runspec.Spec {
+	return runspec.Spec{App: app.Abbr, Policy: policy, Rate: ratePct, Seed: s.opts.Seed + 1}
+}
+
+// Run returns the cached or freshly simulated result for the plain
+// (app, policy, rate) cell. Concurrent callers for the same cell share one
+// simulation.
+func (s *Suite) Run(app workload.App, policy string, ratePct int) gpu.Result {
+	return s.RunSpec(s.spec(app, policy, ratePct))
+}
+
+// RunSpec returns the cached or freshly simulated result for an arbitrary
+// spec, keyed by its content address: two specs meaning the same run —
+// however they were spelled — share one cache cell. Invalid specs panic;
+// experiment code builds its specs from the catalog, so an invalid spec is
+// a programming error, not input.
+func (s *Suite) RunSpec(sp runspec.Spec) gpu.Result {
+	c, err := sp.Canonicalize()
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		panic("experiments: " + err.Error())
 	}
-	return pol
-}
-
-// simConfig builds the Table I system for one run.
-func (s *Suite) simConfig(app workload.App, capacity int, kind PolicyKind) gpu.Config {
-	cfg := gpu.DefaultConfig(capacity)
-	cfg.ComputeGap = sim.Cycle(max(0, app.ComputeGap))
-	if registry.NeedsHIR(kindName(kind)) {
-		cfg.UseHIR = true
-	}
-	return cfg
-}
-
-// Run returns the cached or freshly simulated result for (app, policy, rate).
-// Concurrent callers for the same cell share one simulation.
-func (s *Suite) Run(app workload.App, kind PolicyKind, ratePct int) gpu.Result {
-	key := runKey{app: app.Abbr, kind: kind, ratePct: ratePct}
-	r, computed := dedup(&s.mu, s.results, s.runWIP, key, func() gpu.Result {
-		tr := s.Trace(app)
-		capacity := capacityFor(tr, ratePct)
-		cfg := s.simConfig(app, capacity, kind)
-		pol := s.buildPolicy(kind, app, capacity)
-		return s.simulate(key, cfg, tr, pol)
+	id := c.ID()
+	r, computed := dedup(&s.mu, s.results, s.runWIP, id, func() (gpu.Result, bool) {
+		r := s.simulate(c, id)
+		// A cancelled (partial) result must never be published under the
+		// spec's ID: a later identical request would mistake it for the
+		// complete run. Waiters of this flight still receive the value —
+		// they share the cancelled context and their aggregation is about
+		// to be abandoned anyway.
+		return r, !r.Cancelled
 	})
 	if computed {
-		s.uncachePartial(key, r)
-		s.progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", app.Abbr, kind, ratePct, r))
+		disp := registry.DisplayName(c.Policy)
+		if v := c.VariantLabel(); v != "" {
+			s.progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", c.App, disp, c.Rate, v, r))
+		} else {
+			s.progress(fmt.Sprintf("%-5s %-9s @%d%%: %v", c.App, disp, c.Rate, r))
+		}
 	}
 	return r
 }
 
-// uncachePartial drops a cancelled (partial) result from the memo cache so a
-// reused Suite never serves it as if it were complete. The waiters of that
-// flight still receive the partial value — they share the cancelled context
-// and their aggregation is about to be abandoned anyway.
-func (s *Suite) uncachePartial(key runKey, r gpu.Result) {
-	if !r.Cancelled {
-		return
+// simulate materializes and runs one spec, attaching (and flushing) the
+// caller's probe when an Options.Probe factory is set.
+func (s *Suite) simulate(sp runspec.Spec, id string) gpu.Result {
+	m, err := sp.Materialize(s.env())
+	if err != nil {
+		panic("experiments: " + err.Error())
 	}
-	s.mu.Lock()
-	delete(s.results, key)
-	s.mu.Unlock()
-}
-
-// RunVariant simulates with a caller-customised configuration, cached under
-// the variant label. The mutate callback may adjust both the system config
-// and swap the policy; it runs at most once per key across all goroutines.
-func (s *Suite) RunVariant(app workload.App, kind PolicyKind, ratePct int, variant string,
-	build func(tr *trace.Trace, capacity int) (gpu.Config, policy.Policy)) gpu.Result {
-	key := runKey{app: app.Abbr, kind: kind, ratePct: ratePct, variant: variant}
-	r, computed := dedup(&s.mu, s.results, s.runWIP, key, func() gpu.Result {
-		tr := s.Trace(app)
-		capacity := capacityFor(tr, ratePct)
-		cfg, pol := build(tr, capacity)
-		return s.simulate(key, cfg, tr, pol)
-	})
-	if computed {
-		s.uncachePartial(key, r)
-		s.progress(fmt.Sprintf("%-5s %-9s @%d%% [%s]: %v", app.Abbr, kind, ratePct, variant, r))
-	}
-	return r
-}
-
-// simulate runs one configured cell, attaching (and flushing) the caller's
-// probe when an Options.Probe factory is set.
-func (s *Suite) simulate(key runKey, cfg gpu.Config, tr *trace.Trace, pol policy.Policy) gpu.Result {
 	var opts []gpu.Option
 	if s.opts.Context != nil {
 		opts = append(opts, gpu.WithContext(s.opts.Context))
 	}
 	var pr probe.Probe
 	if s.opts.Probe != nil {
-		pr = s.opts.Probe(RunInfo{App: key.app, Policy: kindName(key.kind),
-			RatePct: key.ratePct, Variant: key.variant})
+		pr = s.opts.Probe(RunInfo{Spec: sp, ID: id})
 		if pr != nil {
 			opts = append(opts, gpu.WithProbe(pr))
 		}
 	}
-	r := gpu.Run(cfg, tr, pol, opts...)
+	r := gpu.Run(m.Config, m.Trace, m.Policy, opts...)
 	if pr != nil {
 		if err := pr.Flush(); err != nil {
-			s.progress(fmt.Sprintf("probe flush %s/%s@%d%%: %v", key.app, kindName(key.kind), key.ratePct, err))
+			s.progress(fmt.Sprintf("probe flush %s/%s@%d%%: %v", sp.App, sp.Policy, sp.Rate, err))
 		}
 	}
 	return r
 }
+
+// display renders a registry policy name the way the paper does.
+func display(policy string) string { return registry.DisplayName(policy) }
 
 // progress emits one line to the Progress callback, serialized.
 func (s *Suite) progress(line string) {

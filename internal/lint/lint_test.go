@@ -41,6 +41,11 @@ func TestLockedFixture(t *testing.T) {
 	requireMin(t, res, "locked", 2)
 }
 
+func TestSpecSourceFixture(t *testing.T) {
+	res := runFixture(t, "specsource", AnalyzerSpecSource)
+	requireMin(t, res, "specsource", 2)
+}
+
 // TestIgnoreFixture proves the suppression contract: a directive silences
 // exactly the named analyzer on exactly the next line, and every other
 // directive shape (wrong analyzer, wrong line, no violation, malformed,
@@ -87,7 +92,7 @@ func TestRunOnProductionPackages(t *testing.T) {
 // //lint:ignore directives key on.
 func TestAnalyzerNamesStable(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "ctxflow,determinism,locked,maporder,probeguard"
+	want := "ctxflow,determinism,locked,maporder,probeguard,specsource"
 	if got != want {
 		t.Errorf("AnalyzerNames() = %s, want %s", got, want)
 	}

@@ -13,6 +13,7 @@ func All() []*Analyzer {
 		AnalyzerLocked,
 		AnalyzerMapOrder,
 		AnalyzerProbeGuard,
+		AnalyzerSpecSource,
 	}
 }
 

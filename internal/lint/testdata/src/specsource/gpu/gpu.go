@@ -1,0 +1,13 @@
+// Package gpu mirrors the production simulator-config surface for the
+// specsource fixture: the analyzer matches the Config type and the
+// DefaultConfig constructor structurally by package and identifier name.
+package gpu
+
+// Config is the simulated-system configuration.
+type Config struct {
+	MemoryPages int
+	UseHIR      bool
+}
+
+// DefaultConfig returns the paper's Table I defaults.
+func DefaultConfig(pages int) Config { return Config{MemoryPages: pages} }

@@ -1,0 +1,35 @@
+// Package specsource is the hpelint/specsource fixture: gpu.Config
+// constructed by hand (DefaultConfig calls, composite literals) must be
+// flagged; mutating an already-materialized config and sanctioned
+// //lint:ignore sites must stay silent.
+package specsource
+
+import "specsource/gpu"
+
+// BadDefault calls the config constructor directly.
+func BadDefault() gpu.Config {
+	return gpu.DefaultConfig(4096) // want `gpu\.DefaultConfig called outside the spec materializer`
+}
+
+// BadLiteral assembles a config by hand.
+func BadLiteral() gpu.Config {
+	return gpu.Config{MemoryPages: 64} // want `gpu\.Config composite literal outside the spec materializer`
+}
+
+// BadPointerLiteral is flagged through the address operator too.
+func BadPointerLiteral() *gpu.Config {
+	return &gpu.Config{UseHIR: true} // want `gpu\.Config composite literal outside the spec materializer`
+}
+
+// GoodMutation tweaks an existing config: copies and field writes are how
+// run-scoped adjustments ride on a materialized config.
+func GoodMutation(cfg gpu.Config) gpu.Config {
+	cfg.UseHIR = true
+	return cfg
+}
+
+// GoodIgnored is a sanctioned construction site.
+func GoodIgnored() gpu.Config {
+	//lint:ignore hpelint/specsource fixture-sanctioned construction site
+	return gpu.DefaultConfig(1)
+}

@@ -1,8 +1,8 @@
 // Package registry is the single name-keyed catalog of eviction policies.
-// Every way of naming a policy — the facade's hpe.NewPolicy, the experiment
-// suite's PolicyKind table, and the CLI tools' -policy flags — resolves here,
-// so adding a policy means adding one Register call, not editing switch
-// statements across the tree.
+// Every way of naming a policy — the facade's hpe.NewPolicy, a
+// runspec.Spec's Policy field, and the CLI tools' -policy flags — resolves
+// here, so adding a policy means adding one Register call, not editing
+// switch statements across the tree.
 //
 // Policies are constructed from a name plus functional options. Options are
 // uniform: a builder consumes the ones it understands and ignores the rest

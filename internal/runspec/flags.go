@@ -1,0 +1,105 @@
+package runspec
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+)
+
+// Flags binds the spec fields to a flag.FlagSet so every CLI parses the
+// same vocabulary. The flow is Register → fs.Parse → Spec(); FlagsFromSpec
+// and Args invert it (spec → re-rendered command line), and the round trip
+// is lossless up to canonicalization — the property the flag tests pin.
+type Flags struct {
+	// App, Policy, Rate, Seed, Design, Prefetch, Channels, DataPath, HIR,
+	// Scale, MaxCycles mirror the Spec fields one-for-one.
+	App       string
+	Policy    string
+	Rate      int
+	Seed      int64
+	Design    string
+	Prefetch  int
+	Channels  int
+	DataPath  bool
+	HIR       string
+	Scale     int
+	MaxCycles uint64
+}
+
+// Register installs the spec flags on fs with the paper defaults. Callers
+// may register additional tool-specific flags on the same set.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.App, "app", "HSD", "workload abbreviation (see -list)")
+	fs.StringVar(&f.Policy, "policy", "hpe", "policy name, comma-separated for several (see -policies)")
+	fs.IntVar(&f.Rate, "rate", 75, "oversubscription rate in percent (memory = rate% of footprint)")
+	fs.Int64Var(&f.Seed, "seed", 1, "seed for randomised policies")
+	fs.StringVar(&f.Design, "design", "l2tlb", "address translation design: l2tlb or pwc")
+	fs.IntVar(&f.Prefetch, "prefetch", 0, "extra pages migrated per fault from the same 64-KB block")
+	fs.IntVar(&f.Channels, "channels", 1, "parallel fault-service channels in the driver")
+	fs.BoolVar(&f.DataPath, "datapath", false, "model the Table I data hierarchy (L1D/L2/GDDR5)")
+	fs.StringVar(&f.HIR, "hir", "auto", "HIR cache: on, off, or auto (policy decides)")
+	fs.IntVar(&f.Scale, "scale", 1, "footprint scale multiplier [1,64]")
+	fs.Uint64Var(&f.MaxCycles, "max-cycles", 0, "abort a runaway simulation after this many cycles (0 = unlimited)")
+}
+
+// Spec assembles the parsed flags into a Spec (not yet canonicalized, so
+// invalid values surface through Canonicalize's errors, same as every other
+// input path).
+func (f Flags) Spec() Spec {
+	return Spec{
+		App:       f.App,
+		Policy:    f.Policy,
+		Rate:      f.Rate,
+		Seed:      f.Seed,
+		Design:    f.Design,
+		Prefetch:  f.Prefetch,
+		Channels:  f.Channels,
+		DataPath:  f.DataPath,
+		HIR:       f.HIR,
+		Scale:     f.Scale,
+		MaxCycles: f.MaxCycles,
+	}
+}
+
+// FlagsFromSpec renders a spec back into its flag form. Tuning has no flag
+// surface (the sensitivity knobs are suite-internal), so only the core
+// dimensions round-trip; specs with non-zero Tuning are not expressible as
+// CLI invocations.
+func FlagsFromSpec(s Spec) Flags {
+	return Flags{
+		App:       s.App,
+		Policy:    s.Policy,
+		Rate:      s.Rate,
+		Seed:      s.Seed,
+		Design:    s.Design,
+		Prefetch:  s.Prefetch,
+		Channels:  s.Channels,
+		DataPath:  s.DataPath,
+		HIR:       s.HIR,
+		Scale:     s.Scale,
+		MaxCycles: s.MaxCycles,
+	}
+}
+
+// Args renders the flags as a command line that re-parses to the same spec.
+func (f Flags) Args() []string {
+	args := []string{
+		"-app", f.App,
+		"-policy", f.Policy,
+		"-rate", strconv.Itoa(f.Rate),
+		"-seed", strconv.FormatInt(f.Seed, 10),
+		"-design", f.Design,
+		"-prefetch", strconv.Itoa(f.Prefetch),
+		"-channels", strconv.Itoa(f.Channels),
+		"-hir", f.HIR,
+		"-scale", strconv.Itoa(f.Scale),
+		"-max-cycles", strconv.FormatUint(f.MaxCycles, 10),
+	}
+	if f.DataPath {
+		args = append(args, "-datapath")
+	}
+	return args
+}
+
+// String renders the flags for error messages.
+func (f Flags) String() string { return fmt.Sprintf("%v", f.Args()) }

@@ -1,0 +1,119 @@
+package runspec
+
+import (
+	"flag"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// parseArgs runs args through a fresh flag set, as a CLI would.
+func parseArgs(t *testing.T, args []string) Spec {
+	t.Helper()
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	return f.Spec()
+}
+
+// TestFlagsDefaultsMatchSpecDefaults: an hpesim invocation with no flags at
+// all must mean the same run as the registered flag defaults re-rendered —
+// i.e. the flag defaults ARE canonical spec defaults.
+func TestFlagsDefaultsMatchSpecDefaults(t *testing.T) {
+	sp := parseArgs(t, nil)
+	c, err := sp.Canonicalize()
+	if err != nil {
+		t.Fatalf("default flags canonicalize: %v", err)
+	}
+	want := Spec{App: "HSD", Policy: "hpe", Rate: 75, Seed: 1,
+		Design: "l2tlb", Channels: 1, HIR: "on", Scale: 1}
+	if c != want {
+		t.Errorf("default flags = %+v, want %+v", c, want)
+	}
+}
+
+// TestFlagsRoundTripProperty is the lossless-round-trip property over a
+// deterministic sample of the core spec dimensions: spec → FlagsFromSpec →
+// Args → re-parse → same canonical spec and same ID. Tuning is excluded by
+// design — it has no flag surface.
+func TestFlagsRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7)) // fixed seed: reproducible sample
+	apps := []string{"HSD", "KMN", "BFS", "B+T", "SAD", "GEM"}
+	policies := []string{"lru", "random", "rrip", "clockpro", "ideal", "hpe",
+		"fifo", "lfu", "clock", "nru", "arc", "setlru"}
+	designs := []string{"", "l2tlb", "pwc"}
+	hirs := []string{"", "auto", "on", "off"}
+	for i := 0; i < 500; i++ {
+		sp := Spec{
+			App:      apps[rng.Intn(len(apps))],
+			Policy:   policies[rng.Intn(len(policies))],
+			Rate:     1 + rng.Intn(100),
+			Seed:     int64(rng.Intn(3)),
+			Design:   designs[rng.Intn(len(designs))],
+			Prefetch: rng.Intn(4),
+			Channels: rng.Intn(5),
+			DataPath: rng.Intn(2) == 1,
+			HIR:      hirs[rng.Intn(len(hirs))],
+			Scale:    rng.Intn(5),
+			MaxCycles: map[bool]uint64{false: 0,
+				true: uint64(1 + rng.Intn(1000000))}[rng.Intn(4) == 0],
+		}
+		c, err := sp.Canonicalize()
+		if err != nil {
+			// hir "on" + sensitivity is the only invalid combination above,
+			// and Tuning is zero here, so every sample must canonicalize.
+			t.Fatalf("sample %d %+v: %v", i, sp, err)
+		}
+		reparsed := parseArgs(t, FlagsFromSpec(c).Args())
+		rc, err := reparsed.Canonicalize()
+		if err != nil {
+			t.Fatalf("sample %d re-parse %v: %v", i, FlagsFromSpec(c).Args(), err)
+		}
+		if rc != c {
+			t.Fatalf("sample %d round trip lost information:\n spec  %+v\n flags %v\n back  %+v",
+				i, c, FlagsFromSpec(c).Args(), rc)
+		}
+		if rc.ID() != c.ID() {
+			t.Fatalf("sample %d IDs diverged across the flag round trip", i)
+		}
+	}
+}
+
+// TestWireBodyMatchesFlags: for every sampled run, a minimal POST /v1/runs
+// body (defaults omitted) and the fully-spelled CLI flag rendering decode to
+// the same content address — the satellite contract tying the server's wire
+// form to the CLI surface.
+func TestWireBodyMatchesFlags(t *testing.T) {
+	cases := []struct {
+		body string
+		args []string
+	}{
+		{`{"app":"HSD","policy":"hpe","rate":75}`,
+			[]string{"-app", "hsd", "-policy", "HPE", "-rate", "75"}},
+		{`{"app":"KMN","policy":"clock-pro","rate":50,"scale":4}`,
+			[]string{"-app", "KMN", "-policy", "clockpro", "-rate", "50",
+				"-scale", "4", "-seed", "1", "-design", "l2tlb"}},
+		{`{"app":"BFS","policy":"lru","rate":100,"datapath":true,"channels":2}`,
+			[]string{"-app", "BFS", "-policy", "lru", "-rate", "100",
+				"-datapath", "-channels", "2", "-hir", "auto"}},
+	}
+	for _, tc := range cases {
+		wire, err := Decode(strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("decode %s: %v", tc.body, err)
+		}
+		cli, err := parseArgs(t, tc.args).Canonicalize()
+		if err != nil {
+			t.Fatalf("flags %v: %v", tc.args, err)
+		}
+		if wire.ID() != cli.ID() {
+			t.Errorf("wire body and CLI flags disagree:\n body  %s → %s\n flags %v → %s",
+				tc.body, wire.ID(), tc.args, cli.ID())
+		}
+	}
+}

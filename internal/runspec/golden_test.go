@@ -1,0 +1,138 @@
+package runspec
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpe/internal/registry"
+)
+
+var updateGoldens = flag.Bool("update-spec-goldens", false,
+	"rewrite testdata/spec_goldens.json from the current canonicalization rules")
+
+// specGolden is one committed fixture: a raw spec, its canonical JSON, and
+// its content address. The fixtures freeze the ID schema — any change to the
+// canonical layout or the canonicalization rules fails TestSpecGoldens, which
+// is the cue to bump IDVersion (see that const's comment), not to regenerate
+// silently.
+type specGolden struct {
+	Name string `json:"name"`
+	Spec Spec   `json:"spec"`
+	// Canonical is the canonical JSON as a string, so the fixture file's own
+	// indentation cannot perturb the byte-exact comparison.
+	Canonical string `json:"canonical"`
+	ID        string `json:"id"`
+}
+
+const goldensPath = "testdata/spec_goldens.json"
+
+// goldenInputs enumerates the fixture specs: every registered policy at the
+// paper defaults, both translation designs, and the HIR / datapath / scale /
+// tuning variants the suite sweeps.
+func goldenInputs() []struct {
+	name string
+	spec Spec
+} {
+	var in []struct {
+		name string
+		spec Spec
+	}
+	add := func(name string, spec Spec) {
+		in = append(in, struct {
+			name string
+			spec Spec
+		}{name, spec})
+	}
+	// Every policy in registry order, defaults otherwise.
+	for _, name := range registry.Names() {
+		add("policy-"+name, Spec{App: "HSD", Policy: name, Rate: 75})
+	}
+	// Both translation designs.
+	add("design-l2tlb", Spec{App: "GEM", Policy: "lru", Rate: 100, Design: "l2tlb"})
+	add("design-pwc", Spec{App: "GEM", Policy: "lru", Rate: 100, Design: "pwc"})
+	add("design-pwc-hpe", Spec{App: "GEM", Policy: "hpe", Rate: 75, Design: "pwc"})
+	// HIR variants.
+	add("hir-off-hpe", Spec{App: "HSD", Policy: "hpe", Rate: 75, HIR: "off"})
+	add("hir-on-lru", Spec{App: "HSD", Policy: "lru", Rate: 75, HIR: "on"})
+	// Datapath and scale variants.
+	add("datapath-hpe", Spec{App: "STN", Policy: "hpe", Rate: 75, DataPath: true})
+	add("scale4-hpe", Spec{App: "BFS", Policy: "hpe", Rate: 50, Scale: 4})
+	add("scale16-lru", Spec{App: "BFS", Policy: "lru", Rate: 50, Scale: 16})
+	// Driver and run-bound knobs.
+	add("prefetch2-ch4", Spec{App: "KMN", Policy: "hpe", Rate: 50, Prefetch: 2, Channels: 4})
+	add("max-cycles", Spec{App: "KMN", Policy: "lru", Rate: 50, MaxCycles: 1 << 20})
+	add("seed7-random", Spec{App: "HSD", Policy: "random", Rate: 75, Seed: 7})
+	// Tuning deviations.
+	add("walk20-lru", Spec{App: "HSD", Policy: "lru", Rate: 75,
+		Tuning: Tuning{WalkLatency: 20}})
+	add("prepop-pwc", Spec{App: "GEM", Policy: "lru", Rate: 100, Design: "pwc",
+		Tuning: Tuning{Prepopulate: true}})
+	add("sensitivity-hpe", Spec{App: "HSD", Policy: "hpe", Rate: 75,
+		Tuning: Tuning{SensitivityHPE: true, SetSizeShift: 3, HPEInterval: 32}})
+	add("division-off-hpe", Spec{App: "HSD", Policy: "hpe", Rate: 75,
+		Tuning: Tuning{HPEDisableDivision: true}})
+	return in
+}
+
+// TestSpecGoldens enforces the committed canonical-JSON + ID fixtures.
+// Regenerate deliberately with:
+//
+//	go test ./internal/runspec/ -run SpecGoldens -update-spec-goldens
+func TestSpecGoldens(t *testing.T) {
+	current := make([]specGolden, 0, len(goldenInputs()))
+	for _, in := range goldenInputs() {
+		canon, err := in.spec.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: %v", in.name, err)
+		}
+		current = append(current, specGolden{
+			Name: in.name, Spec: in.spec, Canonical: string(canon), ID: in.spec.ID()})
+	}
+
+	if *updateGoldens {
+		body, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal goldens: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldensPath), 0o755); err != nil {
+			t.Fatalf("mkdir testdata: %v", err)
+		}
+		if err := os.WriteFile(goldensPath, append(body, '\n'), 0o644); err != nil {
+			t.Fatalf("write goldens: %v", err)
+		}
+		t.Logf("rewrote %s with %d fixtures", goldensPath, len(current))
+		return
+	}
+
+	raw, err := os.ReadFile(goldensPath)
+	if err != nil {
+		t.Fatalf("read goldens (regenerate with -update-spec-goldens): %v", err)
+	}
+	var want []specGolden
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decode goldens: %v", err)
+	}
+	if len(want) != len(current) {
+		t.Fatalf("fixture count drifted: committed %d, current %d — "+
+			"update deliberately with -update-spec-goldens", len(want), len(current))
+	}
+	for i, w := range want {
+		got := current[i]
+		if got.Name != w.Name {
+			t.Errorf("fixture %d renamed: %s → %s", i, w.Name, got.Name)
+			continue
+		}
+		if got.Canonical != w.Canonical {
+			t.Errorf("%s: canonical JSON drifted\n committed %s\n current   %s\n"+
+				"(a deliberate schema change must bump IDVersion)",
+				w.Name, w.Canonical, got.Canonical)
+		}
+		if got.ID != w.ID {
+			t.Errorf("%s: ID drifted %s → %s (bump IDVersion on deliberate changes)",
+				w.Name, w.ID, got.ID)
+		}
+	}
+}

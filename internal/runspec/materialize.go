@@ -1,0 +1,165 @@
+package runspec
+
+import (
+	"math"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/gpu"
+	"hpe/internal/hpe"
+	"hpe/internal/policy"
+	"hpe/internal/registry"
+	"hpe/internal/sim"
+	"hpe/internal/trace"
+	"hpe/internal/workload"
+)
+
+// Env supplies the environment a materialization draws on. Both hooks are
+// optional: the zero Env generates traces on demand and lets offline
+// policies build their own future index. Long-lived callers (the experiment
+// suite, hped) plug their memo caches in here so repeated materializations
+// of the same workload share one trace generation.
+type Env struct {
+	// Trace returns the canonical trace of app (already scaled). When nil,
+	// the trace is generated fresh with its lazy footprint primed.
+	Trace func(app workload.App) *trace.Trace
+	// Future returns a Belady future index over the app's trace, for the
+	// offline Ideal policy. When nil, Ideal builds the index itself.
+	Future func(app workload.App, tr *trace.Trace) *trace.FutureIndex
+}
+
+// Materialized is everything the simulator needs for one run, derived from
+// one canonical Spec: the Spec → (gpu.Config, Trace, Policy) materializer
+// that replaces the per-layer knob-plumbing the suite, server, and CLIs
+// used to duplicate.
+type Materialized struct {
+	// App is the (scaled) workload the run simulates.
+	App workload.App
+	// Trace is the reference string.
+	Trace *trace.Trace
+	// Capacity is the device-memory size in pages implied by Rate.
+	Capacity int
+	// Config is the fully-knobbed Table I system configuration.
+	Config gpu.Config
+	// Policy is a fresh policy instance for this run.
+	Policy policy.Policy
+}
+
+// CapacityFor translates an oversubscription rate into a device-memory size:
+// a rate of 75% means 75% of the trace footprint fits. Never below one page.
+func CapacityFor(tr *trace.Trace, ratePct int) int {
+	c := int(math.Ceil(float64(tr.Footprint()) * float64(ratePct) / 100))
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Materialize canonicalizes the spec and builds the run's workload, trace,
+// system configuration, and policy instance. Every layer — suite, server,
+// CLIs, replay — materializes specs through here, so a knob exists exactly
+// once.
+func (s Spec) Materialize(env Env) (Materialized, error) {
+	c, err := s.Canonicalize()
+	if err != nil {
+		return Materialized{}, err
+	}
+	app, _ := workload.ByAbbr(c.App) // canonical spec: lookup cannot fail
+	app = app.Scaled(c.Scale)
+	var tr *trace.Trace
+	if env.Trace != nil {
+		tr = env.Trace(app)
+	} else {
+		tr = app.Generate()
+		tr.Footprint() // prime the lazy footprint before the trace is shared
+	}
+	capacity := CapacityFor(tr, c.Rate)
+
+	cfg := gpu.DefaultConfig(capacity)
+	cfg.ComputeGap = sim.Cycle(max(0, app.ComputeGap))
+	cfg.Driver.PrefetchPages = c.Prefetch
+	cfg.Driver.Channels = c.Channels
+	cfg.ModelDataPath = c.DataPath
+	cfg.MaxCycles = sim.Cycle(c.MaxCycles)
+	if c.Design == "pwc" {
+		cfg.Translation = gpu.DesignPWC
+	}
+	cfg.UseHIR = c.HIR == "on"
+	cfg.Prepopulate = c.Tuning.Prepopulate
+	if c.Tuning.WalkLatency != 0 {
+		cfg.WalkLatency = sim.Cycle(c.Tuning.WalkLatency)
+	}
+	if c.Tuning.TransferInterval != 0 {
+		cfg.Driver.TransferInterval = c.Tuning.TransferInterval
+	}
+	if c.Tuning.HIREntries != 0 {
+		cfg.HIR.Entries = c.Tuning.HIREntries
+	}
+
+	popts := []registry.Option{
+		registry.WithSeed(c.Seed),
+		registry.WithCapacity(capacity),
+	}
+	if env.Future != nil {
+		appC, trC := app, tr
+		popts = append(popts, registry.WithFutureIndex(func() *trace.FutureIndex {
+			return env.Future(appC, trC)
+		}))
+	} else {
+		popts = append(popts, registry.WithTrace(tr))
+	}
+	if app.Pattern == workload.PatternThrashing {
+		popts = append(popts, registry.WithThrashingRRIP())
+	}
+	if c.Policy == "hpe" {
+		popts = append(popts, registry.WithHPEConfig(hpeConfigFor(app, c.Tuning)))
+	}
+	pol, err := registry.New(c.Policy, popts...)
+	if err != nil {
+		return Materialized{}, err
+	}
+	return Materialized{App: app, Trace: tr, Capacity: capacity, Config: cfg, Policy: pol}, nil
+}
+
+// hpeConfigFor derives the HPE policy configuration from the tuning knobs;
+// the zero Tuning yields exactly hpe.DefaultConfig().
+func hpeConfigFor(app workload.App, t Tuning) hpe.Config {
+	shift := uint(4)
+	if t.SetSizeShift != 0 {
+		shift = t.SetSizeShift
+	}
+	interval := 64
+	if t.HPEInterval != 0 {
+		interval = t.HPEInterval
+	}
+	hc := hpe.ConfigForGeometry(addrspace.NewGeometry(shift), interval)
+	if t.SensitivityHPE {
+		hc.DynamicAdjustment = false
+		hc.IdealHitFeed = true
+		strat := ManualStrategy(app)
+		hc.ManualStrategy = &strat
+	}
+	hc.DivisionCounterThreshold = t.HPEDivisionThreshold
+	hc.DisableDivision = t.HPEDisableDivision
+	return hc
+}
+
+// ManualStrategy returns the per-application strategy the paper's
+// sensitivity methodology (Figs. 7–8) assigns manually: MRU-C for the
+// regular applications (Types I–III except the KMN/SAD outliers, plus SGM),
+// LRU for the rest.
+func ManualStrategy(app workload.App) hpe.Strategy {
+	switch app.Pattern {
+	case workload.PatternStreaming, workload.PatternThrashing:
+		return hpe.StrategyMRUC
+	case workload.PatternPartRepetitive:
+		if app.Abbr == "KMN" || app.Abbr == "SAD" {
+			return hpe.StrategyLRU
+		}
+		return hpe.StrategyMRUC
+	default:
+		if app.Abbr == "SGM" {
+			return hpe.StrategyMRUC
+		}
+		return hpe.StrategyLRU
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"hpe/internal/runspec"
 )
 
 // --- resultCache unit tests ----------------------------------------------
@@ -80,9 +82,9 @@ func (m *serverMetrics) runsSnapshot() (started, completed, cancelled, failed ui
 	return m.runsStarted, m.runsCompleted, m.runsCancelled, m.runsFailed
 }
 
-// slowRunBody is a run request slow enough (~hundreds of ms, more under
+// slowRunBody is a run spec slow enough (~hundreds of ms, more under
 // -race) that a second client reliably arrives while it is in flight.
-const slowRunBody = `{"app":"BFS","policy":"hpe","rate":50,"options":{"scale":4}}`
+const slowRunBody = `{"app":"BFS","policy":"hpe","rate":50,"scale":4}`
 
 // postRun submits a run and returns (status, X-Hped-Source, body). Transport
 // errors are reported with Errorf (not Fatalf) so it is safe off the test
@@ -120,11 +122,7 @@ func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 			ts := httptest.NewServer(srv.Handler())
 			defer ts.Close()
 
-			req := RunRequest{App: "BFS", Policy: "hpe", Rate: 50, Options: RunOptions{Scale: 4}}
-			id, err := normalizeRun(&req)
-			if err != nil {
-				t.Fatalf("normalize: %v", err)
-			}
+			id := runspec.Spec{App: "BFS", Policy: "hpe", Rate: 50, Scale: 4}.ID()
 
 			var wg sync.WaitGroup
 			results := make([][]byte, 2)

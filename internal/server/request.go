@@ -7,92 +7,15 @@ import (
 	"fmt"
 	"strings"
 
-	"hpe"
 	"hpe/internal/experiments"
 )
 
-// RunRequest is the wire form of POST /v1/runs: one (app, policy, rate)
-// simulation plus run-scoped options. The canonicalized form — fields
-// normalized, defaults made explicit — is what the content-addressed run ID
-// hashes, so two requests that mean the same simulation always map to the
-// same ID regardless of spelling ("clock-pro" vs "clockpro", omitted vs
-// explicit defaults).
-type RunRequest struct {
-	// App is the workload abbreviation ("HSD"); case-insensitive on input,
-	// canonicalized to the catalog spelling.
-	App string `json:"app"`
-	// Policy is a registry policy name or alias; canonicalized to the
-	// registry key.
-	Policy string `json:"policy"`
-	// Rate is the oversubscription rate in percent: memory = rate% of the
-	// workload footprint. Must be in (0, 100].
-	Rate int `json:"rate"`
-	// Options are the run-scoped knobs.
-	Options RunOptions `json:"options"`
-}
-
-// RunOptions mirrors the hpesim flags that shape a single run.
-type RunOptions struct {
-	// Seed feeds randomised policies; 0 means the default seed 1.
-	Seed int64 `json:"seed"`
-	// PrefetchPages is the number of extra pages migrated per fault from
-	// the same 64-KB block.
-	PrefetchPages int `json:"prefetch_pages"`
-	// Channels is the number of parallel fault-service channels; 0 means
-	// the paper's default of 1.
-	Channels int `json:"channels"`
-	// Design selects the translation design: "l2tlb" (default) or "pwc".
-	Design string `json:"design"`
-	// DataPath turns on the Table I data-hierarchy model.
-	DataPath bool `json:"datapath"`
-	// MaxCycles aborts a runaway simulation; 0 means unlimited.
-	MaxCycles uint64 `json:"max_cycles"`
-	// Scale multiplies the workload footprint (page sets) for scale studies
-	// beyond the Table II geometries; 0 means the paper's geometry (1).
-	Scale int `json:"scale"`
-}
-
-// normalizeRun canonicalizes a run request in place and returns its
-// content-addressed ID, or a client error describing the first invalid field.
-func normalizeRun(req *RunRequest) (string, error) {
-	app, ok := hpe.WorkloadByAbbr(strings.ToUpper(strings.TrimSpace(req.App)))
-	if !ok {
-		return "", fmt.Errorf("unknown workload %q (GET /v1/apps lists the catalog)", req.App)
-	}
-	req.App = app.Abbr
-	info, ok := hpe.LookupPolicy(strings.TrimSpace(req.Policy))
-	if !ok {
-		return "", fmt.Errorf("unknown policy %q (GET /v1/policies lists the registry)", req.Policy)
-	}
-	req.Policy = info.Name
-	if req.Rate <= 0 || req.Rate > 100 {
-		return "", fmt.Errorf("rate %d out of (0,100]", req.Rate)
-	}
-	if req.Options.Seed == 0 {
-		req.Options.Seed = 1
-	}
-	if req.Options.PrefetchPages < 0 {
-		return "", fmt.Errorf("prefetch_pages %d must be non-negative", req.Options.PrefetchPages)
-	}
-	if req.Options.Channels <= 0 {
-		req.Options.Channels = 1
-	}
-	if req.Options.Scale == 0 {
-		req.Options.Scale = 1
-	}
-	if req.Options.Scale < 1 || req.Options.Scale > 64 {
-		return "", fmt.Errorf("scale %d out of [1,64]", req.Options.Scale)
-	}
-	switch strings.ToLower(strings.TrimSpace(req.Options.Design)) {
-	case "", "l2tlb":
-		req.Options.Design = "l2tlb"
-	case "pwc":
-		req.Options.Design = "pwc"
-	default:
-		return "", fmt.Errorf("unknown translation design %q (l2tlb or pwc)", req.Options.Design)
-	}
-	return contentID("run", req), nil
-}
+// POST /v1/runs takes a runspec.Spec verbatim as its wire form — the server
+// has no request type of its own. runspec.Decode rejects unknown fields and
+// canonicalizes, and Spec.ID() is the run's cache key, so a run submitted
+// over HTTP, built from hpesim flags, or enumerated by the experiment suite
+// lands on the same content address. Only the suite sweep below keeps a
+// server-local request shape (its identity spans experiment IDs, not runs).
 
 // SuiteRequest is the wire form of POST /v1/suite: a whole-matrix sweep
 // through the experiment harness. Workers is a scheduling hint and is

@@ -3,68 +3,67 @@ package server
 import (
 	"strings"
 	"testing"
+
+	"hpe/internal/runspec"
 )
 
-// TestNormalizeRunCanonicalizes checks that requests meaning the same
-// simulation map to the same content address regardless of spelling, and
-// that the normalized form has every default made explicit.
-func TestNormalizeRunCanonicalizes(t *testing.T) {
-	a := RunRequest{App: " hsd ", Policy: "clock-pro", Rate: 75}
-	b := RunRequest{App: "HSD", Policy: "clockpro", Rate: 75,
-		Options: RunOptions{Seed: 1, Channels: 1, Design: "L2TLB", Scale: 1}}
-	idA, err := normalizeRun(&a)
-	if err != nil {
-		t.Fatalf("normalize a: %v", err)
+// TestRunWireFormCanonicalizes checks the POST /v1/runs wire path: bodies
+// meaning the same simulation — alias spellings, omitted vs explicit
+// defaults — decode to one canonical spec and therefore one content address.
+// (The canonicalization rules themselves are tested in internal/runspec;
+// this test pins the server's use of them as its wire form.)
+func TestRunWireFormCanonicalizes(t *testing.T) {
+	bodies := []string{
+		`{"app":" hsd ","policy":"clock-pro","rate":75}`,
+		`{"app":"HSD","policy":"clockpro","rate":75,"seed":1,"channels":1,"design":"L2TLB","scale":1}`,
+		`{"app":"HSD","policy":"clockpro","rate":75,"hir":"auto"}`,
 	}
-	idB, err := normalizeRun(&b)
-	if err != nil {
-		t.Fatalf("normalize b: %v", err)
+	var want string
+	for i, body := range bodies {
+		sp, err := runspec.Decode(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("decode body %d: %v", i, err)
+		}
+		if i == 0 {
+			want = sp.ID()
+			continue
+		}
+		if got := sp.ID(); got != want {
+			t.Errorf("body %d hashed differently: %s vs %s", i, got, want)
+		}
 	}
-	if idA != idB {
-		t.Errorf("alias spellings hashed differently: %s vs %s", idA, idB)
-	}
-	if !strings.HasPrefix(idA, "run-") {
-		t.Errorf("run ID %q lacks kind prefix", idA)
-	}
-	if a.App != "HSD" || a.Policy != b.Policy {
-		t.Errorf("canonical form not rewritten in place: %+v", a)
-	}
-	if a.Options.Seed != 1 || a.Options.Channels != 1 || a.Options.Design != "l2tlb" || a.Options.Scale != 1 {
-		t.Errorf("defaults not made explicit: %+v", a.Options)
+	if !strings.HasPrefix(want, "run-"+runspec.IDVersion+"-") {
+		t.Errorf("run ID %q lacks versioned kind prefix", want)
 	}
 
-	c := RunRequest{App: "HSD", Policy: "clock-pro", Rate: 50}
-	idC, err := normalizeRun(&c)
+	sp, err := runspec.Decode(strings.NewReader(`{"app":"HSD","policy":"clock-pro","rate":50}`))
 	if err != nil {
-		t.Fatalf("normalize c: %v", err)
+		t.Fatalf("decode: %v", err)
 	}
-	if idC == idA {
+	if sp.ID() == want {
 		t.Errorf("different rates share a content address")
 	}
 }
 
-func TestNormalizeRunRejectsInvalid(t *testing.T) {
+// TestRunWireFormRejectsInvalid checks that malformed bodies fail decoding
+// instead of aliasing onto some valid run's content address.
+func TestRunWireFormRejectsInvalid(t *testing.T) {
 	cases := []struct {
 		name string
-		req  RunRequest
+		body string
 	}{
-		{"unknown app", RunRequest{App: "NOPE", Policy: "lru", Rate: 50}},
-		{"unknown policy", RunRequest{App: "HSD", Policy: "magic", Rate: 50}},
-		{"rate zero", RunRequest{App: "HSD", Policy: "lru", Rate: 0}},
-		{"rate over 100", RunRequest{App: "HSD", Policy: "lru", Rate: 101}},
-		{"negative prefetch", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
-			Options: RunOptions{PrefetchPages: -1}}},
-		{"bad design", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
-			Options: RunOptions{Design: "tlbless"}}},
-		{"scale too large", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
-			Options: RunOptions{Scale: 65}}},
-		{"negative scale", RunRequest{App: "HSD", Policy: "lru", Rate: 50,
-			Options: RunOptions{Scale: -2}}},
+		{"unknown app", `{"app":"NOPE","policy":"lru","rate":50}`},
+		{"unknown policy", `{"app":"HSD","policy":"magic","rate":50}`},
+		{"rate zero", `{"app":"HSD","policy":"lru","rate":0}`},
+		{"negative prefetch", `{"app":"HSD","policy":"lru","rate":50,"prefetch_pages":-1}`},
+		{"bad design", `{"app":"HSD","policy":"lru","rate":50,"design":"tlbless"}`},
+		{"scale too large", `{"app":"HSD","policy":"lru","rate":50,"scale":65}`},
+		{"unknown field", `{"app":"HSD","policy":"lru","rate":50,"prefetch":2}`},
+		{"legacy nested options", `{"app":"HSD","policy":"lru","rate":50,"options":{"scale":4}}`},
 	}
 	for _, tc := range cases {
-		req := tc.req
-		if _, err := normalizeRun(&req); err == nil {
-			t.Errorf("%s: accepted %+v", tc.name, tc.req)
+		if _, err := runspec.Decode(strings.NewReader(tc.body)); err == nil {
+			t.Errorf("%s: accepted %s", tc.name, tc.body)
 		}
 	}
 }

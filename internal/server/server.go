@@ -10,7 +10,7 @@
 //
 // Endpoints:
 //
-//	POST /v1/runs        submit a {app, policy, rate, options} run
+//	POST /v1/runs        submit a run spec (runspec.Spec wire form)
 //	GET  /v1/runs/{id}   result (from cache) or in-flight status
 //	POST /v1/suite       whole-matrix sweep through the experiment harness
 //	GET  /v1/policies    the eviction-policy registry
@@ -18,10 +18,11 @@
 //	GET  /healthz        liveness (503 while draining)
 //	GET  /metrics        Prometheus text exposition
 //
-// Run IDs are content addresses of the canonicalized request, so identical
-// requests — across clients, across restarts, across replicas — share one ID,
-// one simulation, and one cache entry, and byte-identical bodies are
-// guaranteed by the simulator's determinism contract.
+// Run IDs are runspec content addresses (Spec.ID()), so identical requests —
+// across clients, across restarts, across replicas, and across the suite and
+// CLI layers that speak the same spec — share one ID, one simulation, and one
+// cache entry, and byte-identical bodies are guaranteed by the simulator's
+// determinism contract.
 package server
 
 import (
@@ -36,9 +37,7 @@ import (
 	"time"
 
 	"hpe"
-	"hpe/internal/gpu"
-	"hpe/internal/sim"
-	"hpe/internal/workload"
+	"hpe/internal/runspec"
 )
 
 // Config sizes the daemon.
@@ -200,11 +199,11 @@ func decodeJSON(r *http.Request, v any) error {
 // --- run submission ------------------------------------------------------
 
 // runResponse is the body of a completed run: the ID, the canonicalized
-// request it addresses, and the full simulation result.
+// spec it addresses, and the full simulation result.
 type runResponse struct {
-	ID      string     `json:"id"`
-	Request RunRequest `json:"request"`
-	Result  hpe.Result `json:"result"`
+	ID      string      `json:"id"`
+	Request hpe.RunSpec `json:"request"`
+	Result  hpe.Result  `json:"result"`
 }
 
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
@@ -213,18 +212,16 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, route, http.StatusServiceUnavailable, "server draining")
 		return
 	}
-	var req RunRequest
-	if err := decodeJSON(r, &req); err != nil {
+	// The wire form IS the canonical run spec: bounded body, unknown fields
+	// rejected, canonicalized on decode, content-addressed by Spec.ID().
+	sp, err := runspec.Decode(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
 		s.writeErr(w, route, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	id, err := normalizeRun(&req)
-	if err != nil {
-		s.writeErr(w, route, http.StatusBadRequest, err.Error())
-		return
-	}
+	id := sp.ID()
 	s.serveComputed(w, r, route, id, false, func(ctx context.Context) ([]byte, error) {
-		return s.simulateRun(ctx, req, id)
+		return s.simulateRun(ctx, sp, id)
 	})
 }
 
@@ -295,49 +292,20 @@ func (s *Server) trace(app hpe.App) *hpe.Trace {
 	return e.tr
 }
 
-// simulateRun executes one canonicalized run request under ctx and renders
-// its response body. Cancelled (partial) results are reported as errors and
-// never rendered or cached.
-func (s *Server) simulateRun(ctx context.Context, req RunRequest, id string) ([]byte, error) {
-	app, ok := hpe.WorkloadByAbbr(req.App)
-	if !ok {
-		return nil, fmt.Errorf("workload %q vanished from the catalog", req.App)
-	}
-	app = app.Scaled(req.Options.Scale)
-	tr := s.trace(app)
-	capacity := int(math.Ceil(float64(tr.Footprint()) * float64(req.Rate) / 100))
-	if capacity < 1 {
-		capacity = 1
-	}
-	cfg := hpe.SystemConfig(capacity)
-	if app.ComputeGap > 0 {
-		cfg.ComputeGap = sim.Cycle(app.ComputeGap)
-	}
-	cfg.Driver.PrefetchPages = req.Options.PrefetchPages
-	cfg.Driver.Channels = req.Options.Channels
-	cfg.ModelDataPath = req.Options.DataPath
-	cfg.MaxCycles = sim.Cycle(req.Options.MaxCycles)
-	if req.Options.Design == "pwc" {
-		cfg.Translation = gpu.DesignPWC
-	}
-	popts := []hpe.PolicyOption{
-		hpe.WithPolicySeed(req.Options.Seed),
-		hpe.WithCapacity(capacity),
-		hpe.WithTrace(tr),
-	}
-	if app.Pattern == workload.PatternThrashing {
-		popts = append(popts, hpe.WithThrashingRRIP())
-	}
-	pol, err := hpe.NewPolicy(req.Policy, popts...)
+// simulateRun executes one canonicalized run spec under ctx and renders its
+// response body. The spec → (config, trace, policy) materialization lives in
+// runspec; the server only contributes its long-lived trace cache and its
+// metrics probe. Cancelled (partial) results are reported as errors and never
+// rendered or cached.
+func (s *Server) simulateRun(ctx context.Context, sp hpe.RunSpec, id string) ([]byte, error) {
+	m := hpe.NewMetricsProbe()
+	res, err := hpe.Run(sp,
+		hpe.WithContext(ctx),
+		hpe.WithProbe(m),
+		hpe.WithRunEnv(hpe.RunEnv{Trace: s.trace}))
 	if err != nil {
 		return nil, err
 	}
-	m := hpe.NewMetricsProbe()
-	ropts := []hpe.RunOption{hpe.WithContext(ctx), hpe.WithProbe(m)}
-	if info, ok := hpe.LookupPolicy(req.Policy); ok && info.NeedsHIR {
-		ropts = append(ropts, hpe.WithHIR())
-	}
-	res := hpe.Simulate(cfg, tr, pol, ropts...)
 	s.met.mergeProbe(res.Probe)
 	if res.Cancelled {
 		if err := ctx.Err(); err != nil {
@@ -345,7 +313,7 @@ func (s *Server) simulateRun(ctx context.Context, req RunRequest, id string) ([]
 		}
 		return nil, context.Canceled
 	}
-	body, err := json.Marshal(runResponse{ID: id, Request: req, Result: res})
+	body, err := json.Marshal(runResponse{ID: id, Request: sp, Result: res})
 	if err != nil {
 		return nil, fmt.Errorf("render result: %w", err)
 	}

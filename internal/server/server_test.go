@@ -4,12 +4,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"hpe"
+	"hpe/internal/experiments"
+	"hpe/internal/probe"
+	"hpe/internal/runspec"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -79,9 +85,9 @@ func TestSubmitRunRejectsBadRequests(t *testing.T) {
 		{"unknown policy", `{"app":"HSD","policy":"magic","rate":50}`},
 		{"rate out of range", `{"app":"HSD","policy":"lru","rate":0}`},
 		{"unknown field", `{"app":"HSD","policy":"lru","rate":50,"turbo":true}`},
-		{"unknown option", `{"app":"HSD","policy":"lru","rate":50,"options":{"warp":9}}`},
+		{"legacy nested options", `{"app":"HSD","policy":"lru","rate":50,"options":{"scale":4}}`},
 		{"not json", `not json`},
-		{"scale out of range", `{"app":"HSD","policy":"lru","rate":50,"options":{"scale":1000}}`},
+		{"scale out of range", `{"app":"HSD","policy":"lru","rate":50,"scale":1000}`},
 	}
 	for _, tc := range cases {
 		code, _, body := postRun(t, ts.Client(), ts.URL, tc.body)
@@ -101,6 +107,56 @@ func TestSubmitRunRejectsBadRequests(t *testing.T) {
 	}
 }
 
+// TestSpecIDAgreesAcrossLayers is the cross-layer identity contract: the
+// same simulation described three ways — hpesim CLI flags, a POST /v1/runs
+// wire body with defaults omitted, and the experiment suite's internal
+// enumeration — lands on one Spec.ID(), so all three layers share one cache
+// entry. This is the omitted-vs-default hazard test: the wire body spells
+// nothing beyond (app, policy, rate), the CLI spells every default
+// explicitly, and the suite builds the spec programmatically.
+func TestSpecIDAgreesAcrossLayers(t *testing.T) {
+	// CLI path: hpesim's flag surface, defaults spelled out explicitly.
+	var fl runspec.Flags
+	fs := flag.NewFlagSet("hpesim", flag.ContinueOnError)
+	fl.Register(fs)
+	if err := fs.Parse([]string{
+		"-app", "kmn", "-policy", "LRU", "-rate", "50",
+		"-seed", "1", "-design", "l2tlb", "-channels", "1", "-scale", "1",
+	}); err != nil {
+		t.Fatalf("parse flags: %v", err)
+	}
+	cliID := fl.Spec().ID()
+
+	// Server wire path: the same run with every default omitted.
+	sp, err := runspec.Decode(strings.NewReader(`{"app":"KMN","policy":"lru","rate":50}`))
+	if err != nil {
+		t.Fatalf("decode wire body: %v", err)
+	}
+	serverID := sp.ID()
+
+	// Suite path: the suite's own spec for (KMN, lru, 50), observed through
+	// the probe factory's RunInfo. Options.Seed 0 is the suite's historical
+	// seeding offset away from the canonical default seed 1.
+	var suiteID string
+	suite := experiments.NewSuite(experiments.Options{
+		Quick: true,
+		Probe: func(info experiments.RunInfo) probe.Probe {
+			suiteID = info.ID
+			return nil
+		},
+	})
+	app, ok := hpe.WorkloadByAbbr("KMN")
+	if !ok {
+		t.Fatal("KMN missing from the catalog")
+	}
+	suite.Run(app, "lru", 50)
+
+	if cliID != serverID || serverID != suiteID {
+		t.Errorf("layers disagree on the run identity:\n cli    %s\n server %s\n suite  %s",
+			cliID, serverID, suiteID)
+	}
+}
+
 func TestGetRunStatus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs real simulations")
@@ -112,11 +168,7 @@ func TestGetRunStatus(t *testing.T) {
 		t.Fatalf("unknown id: %d: %s", code, body)
 	}
 
-	req := RunRequest{App: "BFS", Policy: "hpe", Rate: 50, Options: RunOptions{Scale: 4}}
-	id, err := normalizeRun(&req)
-	if err != nil {
-		t.Fatalf("normalize: %v", err)
-	}
+	id := runspec.Spec{App: "BFS", Policy: "hpe", Rate: 50, Scale: 4}.ID()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -195,12 +247,8 @@ func TestCancelledRequestStopsSimulation(t *testing.T) {
 	}
 	srv, ts := newTestServer(t, Config{Workers: 2})
 
-	req := RunRequest{App: "BFS", Policy: "hpe", Rate: 50, Options: RunOptions{Scale: 16}}
-	id, err := normalizeRun(&req)
-	if err != nil {
-		t.Fatalf("normalize: %v", err)
-	}
-	body := `{"app":"BFS","policy":"hpe","rate":50,"options":{"scale":16}}`
+	id := runspec.Spec{App: "BFS", Policy: "hpe", Rate: 50, Scale: 16}.ID()
+	body := `{"app":"BFS","policy":"hpe","rate":50,"scale":16}`
 
 	ctx, cancel := context.WithCancel(context.Background())
 	httpReq, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/runs", strings.NewReader(body))
@@ -270,11 +318,7 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	}
 	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: -1}) // queue depth 0
 
-	req := RunRequest{App: "BFS", Policy: "hpe", Rate: 50, Options: RunOptions{Scale: 4}}
-	id, err := normalizeRun(&req)
-	if err != nil {
-		t.Fatalf("normalize: %v", err)
-	}
+	id := runspec.Spec{App: "BFS", Policy: "hpe", Rate: 50, Scale: 4}.ID()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

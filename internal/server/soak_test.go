@@ -53,7 +53,7 @@ func TestSoak(t *testing.T) {
 		burstWG.Add(1)
 		go func(i int) {
 			defer burstWG.Done()
-			body := fmt.Sprintf(`{"app":"BFS","policy":"lru","rate":%d,"options":{"scale":2}}`, 40+i)
+			body := fmt.Sprintf(`{"app":"BFS","policy":"lru","rate":%d,"scale":2}`, 40+i)
 			<-start
 			code, err := post("/v1/runs", body)
 			if err != nil {

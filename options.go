@@ -7,6 +7,7 @@ import (
 	"hpe/internal/policy"
 	"hpe/internal/probe"
 	"hpe/internal/registry"
+	"hpe/internal/runspec"
 	"hpe/internal/trace"
 )
 
@@ -52,6 +53,7 @@ type runConfig struct {
 	seed   *int64
 	useHIR bool
 	ctx    context.Context
+	env    runspec.Env
 }
 
 // RunOption customises one simulation or replay run. Options are run-scoped
@@ -93,18 +95,31 @@ func WithContext(ctx context.Context) RunOption {
 	return func(rc *runConfig) { rc.ctx = ctx }
 }
 
+// WithRunEnv supplies shared trace/future-index caches to Run and ReplaySpec,
+// so long-lived callers (servers, sweeps) generate each workload's reference
+// string once. Simulate and Replay — which take an explicit trace — ignore it.
+func WithRunEnv(env RunEnv) RunOption {
+	return func(rc *runConfig) { rc.env = runspec.Env(env) }
+}
+
 // apply folds the options and prepares the composed probe (nil when none).
 func applyRunOptions(pol Policy, opts []RunOption) (runConfig, Probe) {
 	var rc runConfig
 	for _, opt := range opts {
 		opt(&rc)
 	}
-	if rc.seed != nil {
-		if r, ok := pol.(policy.Reseedable); ok {
-			r.Reseed(*rc.seed)
-		}
-	}
+	reseed(pol, rc.seed)
 	return rc, probe.Multi(rc.probes...)
+}
+
+// reseed applies a WithSeed override to policies that carry an RNG.
+func reseed(pol Policy, seed *int64) {
+	if seed == nil {
+		return
+	}
+	if r, ok := pol.(policy.Reseedable); ok {
+		r.Reseed(*seed)
+	}
 }
 
 // flushProbe finalises a run's probe; flush errors surface on the probe

@@ -1,6 +1,7 @@
 #!/bin/sh
 # scripts/precommit.sh — the fast pre-commit slice of `make check`:
-# formatting, go vet, and hpelint (DESIGN.md §10). Wire it up with
+# formatting, go vet, hpelint (DESIGN.md §10), and the RunSpec identity
+# goldens (DESIGN.md §12). Wire it up with
 #
 #   ln -s ../../scripts/precommit.sh .git/hooks/pre-commit
 #
@@ -26,6 +27,13 @@ fi
 if ! go run ./cmd/hpelint ./...; then
     echo "hpelint: findings above; fix them or annotate the preceding line" >&2
     echo "with '//lint:ignore hpelint/<analyzer> reason' (see DESIGN.md §10)" >&2
+    fail=1
+fi
+
+if ! go test -run SpecGoldens -count=1 ./internal/runspec/ >/dev/null; then
+    echo "spec goldens: run-ID fixtures drifted (DESIGN.md §12); if deliberate," >&2
+    echo "bump runspec.IDVersion and regenerate with" >&2
+    echo "  go test ./internal/runspec/ -run SpecGoldens -update-spec-goldens" >&2
     fail=1
 fi
 
