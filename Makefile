@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint spec-goldens race race-probe serve-check fuzz-seed bench bench-probe bench-json bench-smoke clean
+.PHONY: all check build test vet lint spec-goldens race race-probe serve-check cluster-check fuzz-seed bench bench-probe bench-json bench-smoke clean
 
 all: check
 
-check: build vet lint spec-goldens test race race-probe serve-check fuzz-seed bench-smoke
+check: build vet lint spec-goldens test race race-probe serve-check cluster-check fuzz-seed bench-smoke
 
 # Tier-1 verify (ROADMAP.md).
 build:
@@ -53,6 +53,15 @@ race-probe:
 serve-check:
 	$(GO) vet ./internal/server/ ./cmd/hped/
 	$(GO) test -race -count=1 ./internal/server/ ./cmd/hped/
+
+# The cluster coordinator under the race detector (DESIGN.md §13): ring
+# routing, shard dispatch with re-dispatch and circuit breaking, the chaos
+# tests (backend killed mid-sweep, backend paused past the health deadline),
+# byte-identity of merged sweeps against single-node goldens, and the
+# concurrent soak.
+cluster-check:
+	$(GO) vet ./internal/cluster/
+	$(GO) test -race -count=1 -timeout 600s ./internal/cluster/
 
 # Fuzz targets, seed corpus only (the -fuzz loop is interactive; run
 # `go test -fuzz=FuzzEngineEquivalence ./internal/sim/` or

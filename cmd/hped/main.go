@@ -1,12 +1,15 @@
 // Command hped is the simulation-as-a-service daemon: a long-running HTTP
 // server exposing the full simulation surface with request coalescing, a
-// content-addressed result cache, and cancellable runs.
+// content-addressed result cache, and cancellable runs. With -coordinator it
+// instead fronts a set of hped backends, consistent-hashing each run's
+// content address across them and serving the same /v1 surface.
 //
 // Usage:
 //
 //	hped                          # listen on 127.0.0.1:7770
 //	hped -addr :8080 -workers 8   # public, 8 concurrent simulations
 //	hped -cache-mb 1024           # 1 GiB result cache
+//	hped -coordinator -backends http://10.0.0.1:7770,http://10.0.0.2:7770
 //
 // Quickstart:
 //
@@ -19,7 +22,9 @@
 // submissions hit the LRU result cache and return byte-identical bodies in
 // microseconds. SIGINT/SIGTERM drains in-flight requests (bounded by
 // -shutdown-timeout), cancels whatever remains, flushes the cache stats to
-// stderr, and exits.
+// stderr, and exits. Coordinator mode shares all of it: the same envelope
+// vocabulary, the same run IDs, byte-identical sweep bodies (README has the
+// cluster quickstart).
 package main
 
 import (
@@ -33,9 +38,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"hpe/internal/cluster"
 	"hpe/internal/server"
 )
 
@@ -54,6 +61,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheMB := fs.Int64("cache-mb", 256, "result-cache budget in MiB")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 15*time.Second,
 		"how long SIGTERM waits for in-flight requests before cancelling them")
+	coordinator := fs.Bool("coordinator", false,
+		"run as a cluster coordinator over -backends instead of simulating locally")
+	backends := fs.String("backends", "",
+		"comma-separated backend base URLs (coordinator mode, required)")
+	healthInterval := fs.Duration("health-interval", 2*time.Second,
+		"backend /healthz polling period (coordinator mode)")
+	dispatchAttempts := fs.Int("dispatch-attempts", 4,
+		"ring-walk rounds per shard before backend_unavailable (coordinator mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,13 +76,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, format+"\n", a...)
+	}
+
+	if *coordinator {
+		return runCoordinator(ctx, coordinatorConfig{
+			addr:            *addr,
+			backends:        *backends,
+			cacheMB:         *cacheMB,
+			healthInterval:  *healthInterval,
+			maxAttempts:     *dispatchAttempts,
+			shutdownTimeout: *shutdownTimeout,
+		}, logf, stdout, stderr)
+	}
+
 	srv := server.New(server.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: *cacheMB << 20,
-		Logf: func(format string, a ...any) {
-			fmt.Fprintf(stderr, format+"\n", a...)
-		},
+		Logf:       logf,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -99,6 +127,74 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "hped: %s\n", srv.Close())
 	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
 		fmt.Fprintf(stderr, "hped: drain: %v (in-flight simulations cancelled)\n", drainErr)
+		return 1
+	}
+	fmt.Fprintln(stderr, "hped: drained cleanly")
+	return 0
+}
+
+// coordinatorConfig carries the coordinator-mode flag values.
+type coordinatorConfig struct {
+	addr            string
+	backends        string
+	cacheMB         int64
+	healthInterval  time.Duration
+	maxAttempts     int
+	shutdownTimeout time.Duration
+}
+
+// runCoordinator is the -coordinator serving loop: same lifecycle shape as
+// the backend path (listen, serve, drain on signal), with the cluster
+// coordinator behind the handler instead of the local simulator.
+func runCoordinator(ctx context.Context, cfg coordinatorConfig,
+	logf func(string, ...any), stdout, stderr io.Writer) int {
+	var urls []string
+	for _, b := range strings.Split(cfg.backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, strings.TrimRight(b, "/"))
+		}
+	}
+	coord, err := cluster.New(cluster.Config{
+		Backends:       urls,
+		HealthInterval: cfg.healthInterval,
+		MaxAttempts:    cfg.maxAttempts,
+		CacheBytes:     cfg.cacheMB << 20,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "hped: %v\n", err)
+		return 2
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "hped: listen: %v\n", err)
+		coord.Close()
+		return 1
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	fmt.Fprintf(stdout, "hped coordinator listening on http://%s (%d backends, cache=%dMiB)\n",
+		ln.Addr(), len(urls), cfg.cacheMB)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "hped: serve: %v\n", err)
+		coord.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stderr, "hped: shutdown signal, draining (timeout %v)\n", cfg.shutdownTimeout)
+	coord.Drain()
+	//lint:ignore hpelint/ctxflow the caller's ctx has already fired (that is why we are draining); the drain deadline must outlive it
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.shutdownTimeout)
+	defer cancel()
+	drainErr := httpSrv.Shutdown(dctx)
+	fmt.Fprintf(stderr, "hped: %s\n", coord.Close())
+	if drainErr != nil && !errors.Is(drainErr, http.ErrServerClosed) {
+		fmt.Fprintf(stderr, "hped: drain: %v (in-flight dispatches cancelled)\n", drainErr)
 		return 1
 	}
 	fmt.Fprintln(stderr, "hped: drained cleanly")

@@ -1,0 +1,626 @@
+// Package cluster implements hped's coordinator: one process that owns the
+// public /v1 surface and partitions work across N hped backends by
+// consistent-hashing each run's content address. The coordinator is not a
+// dumb proxy — it runs the experiment harness locally (aggregation, report
+// rendering, canonical ordering) and delegates only the simulations, each
+// shard travelling to the backend owning its Spec.ID() over the exact wire
+// forms a single hped speaks. Determinism is what makes the architecture
+// sound: any backend's answer for a shard is THE answer, so a merged sweep
+// is byte-identical to a single-node run, a restarted backend re-owns its
+// old shards, and a dead backend's shards fall through to the next backend
+// on the ring with no reconciliation protocol.
+//
+// The coordinator serves the same /v1 endpoints as a backend (runs, suite,
+// policies, apps, healthz, metrics, enumeration), shares the backend's error
+// envelope vocabulary verbatim, and adds cluster-level /metrics: per-backend
+// liveness, breaker state, shard and re-dispatch counters, and the
+// saturation analyzer's max-sustainable-rate estimates. See DESIGN.md §13.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"hpe"
+	"hpe/internal/flight"
+	"hpe/internal/promtext"
+	"hpe/internal/respcache"
+	"hpe/internal/runspec"
+	"hpe/internal/server"
+)
+
+// Config sizes the coordinator.
+type Config struct {
+	// Backends are the base URLs of the hped instances to shard across
+	// (e.g. "http://10.0.0.1:8080"). Required, at least one.
+	Backends []string
+	// VNodes is the number of virtual ring points per backend; defaults
+	// to 64.
+	VNodes int
+	// HealthInterval is the /healthz polling period; defaults to 2s.
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe; defaults to 1s.
+	HealthTimeout time.Duration
+	// MaxAttempts is how many ring-walk rounds one shard gets before the
+	// coordinator gives up with backend_unavailable; defaults to 4.
+	MaxAttempts int
+	// BackoffBase/BackoffMax bound the deterministic exponential backoff
+	// between dispatch rounds; default 100ms / 2s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// backend's circuit breaker; defaults to 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses shards before one
+	// half-open probe is allowed; defaults to 5s.
+	BreakerCooldown time.Duration
+	// CacheBytes is the coordinator's merged-result cache budget; defaults
+	// to 256 MiB. Negative disables caching.
+	CacheBytes int64
+	// SuiteWorkers caps one sweep's concurrent shards; 0 means adaptive
+	// (the live backends' summed workers+queue, so every backend's window
+	// stays full without queueing rejections).
+	SuiteWorkers int
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 256 << 20
+	}
+}
+
+// Coordinator fronts a set of hped backends. Construct with New; it is safe
+// for concurrent use and is wired into an http.Server via Handler.
+type Coordinator struct {
+	cfg        Config
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	ring       *ring
+	order      []string            // backend names, configuration order (immutable)
+	backends   map[string]*backend // immutable map; each backend locks itself
+	client     *http.Client
+	cache      *respcache.Cache
+	co         *flight.Group
+	met        *clusterMetrics
+	mux        *http.ServeMux
+	draining   chan struct{} // closed by Drain
+	drainOnce  sync.Once
+	healthDone chan struct{} // closed when the health loop exits
+
+	sumMu     sync.Mutex
+	summaries map[string]listMeta // guarded by sumMu; id → enumeration summary
+}
+
+// listMeta is the enumeration metadata the coordinator records at submission.
+type listMeta struct {
+	kind    string
+	summary string
+}
+
+// New builds a Coordinator, performs one synchronous health round (so the
+// first request sees real liveness, not a cold default), and starts the
+// background health loop.
+func New(cfg Config) (*Coordinator, error) {
+	cfg.fillDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("cluster: no backends configured")
+	}
+	seen := make(map[string]bool, len(cfg.Backends))
+	for _, b := range cfg.Backends {
+		if b == "" || seen[b] {
+			return nil, fmt.Errorf("cluster: empty or duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	//lint:ignore hpelint/ctxflow the coordinator owns its lifecycle root; Close cancels it, and the health loop and orphaned-shard computations derive from it
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		ring:       newRing(cfg.Backends, cfg.VNodes),
+		order:      cfg.Backends,
+		backends:   make(map[string]*backend, len(cfg.Backends)),
+		client:     &http.Client{},
+		cache:      respcache.New(cfg.CacheBytes),
+		co:         flight.NewGroup(),
+		met:        newClusterMetrics(),
+		draining:   make(chan struct{}),
+		healthDone: make(chan struct{}),
+		summaries:  make(map[string]listMeta),
+	}
+	for _, name := range cfg.Backends {
+		c.backends[name] = newBackend(name)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", c.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs", c.handleListRuns)
+	mux.HandleFunc("GET /v1/runs/{id}", c.handleGetRun)
+	mux.HandleFunc("POST /v1/suite", c.handleSuite)
+	mux.HandleFunc("GET /v1/policies", c.handlePolicies)
+	mux.HandleFunc("GET /v1/apps", c.handleApps)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	c.mux = mux
+
+	c.CheckHealth(ctx)
+	go c.healthLoop()
+	return c, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Drain refuses new submissions with 503 while in-flight work completes.
+func (c *Coordinator) Drain() { c.drainOnce.Do(func() { close(c.draining) }) }
+
+func (c *Coordinator) isDraining() bool {
+	select {
+	case <-c.draining:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains, stops the health loop, cancels in-flight dispatches, and
+// returns a final stats line for logging.
+func (c *Coordinator) Close() string {
+	c.Drain()
+	c.baseCancel()
+	<-c.healthDone
+	cs := c.cache.Snapshot()
+	sat := c.Saturation()
+	return fmt.Sprintf("cluster: %d/%d backends live, %.2f rps capacity; cache: %d entries, %d bytes; coalesced %d, redispatched %d",
+		sat.Live, len(c.order), sat.ClusterRPS, cs.Entries, cs.Bytes,
+		c.co.Coalesced(), c.met.redispatchCount())
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// --- health checking -----------------------------------------------------
+
+// healthLoop polls every backend until Close.
+func (c *Coordinator) healthLoop() {
+	defer close(c.healthDone)
+	t := time.NewTicker(c.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.baseCtx.Done():
+			return
+		case <-t.C:
+			c.CheckHealth(c.baseCtx)
+		}
+	}
+}
+
+// CheckHealth performs one synchronous health round over all backends,
+// updating liveness and capacity. Exported so tests (and the coordinator's
+// own startup) can force a round instead of waiting out the interval.
+func (c *Coordinator) CheckHealth(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, name := range c.order {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			c.probeBackend(ctx, b)
+		}(c.backends[name])
+	}
+	wg.Wait()
+}
+
+// probeBackend runs one GET /healthz against one backend.
+func (c *Coordinator) probeBackend(ctx context.Context, b *backend) {
+	pctx, cancel := context.WithTimeout(ctx, c.cfg.HealthTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.name+"/healthz", nil)
+	if err != nil {
+		b.setHealth(false, 0, 0)
+		return
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		b.setHealth(false, 0, 0)
+		return
+	}
+	defer resp.Body.Close()
+	var hb server.HealthBody
+	if resp.StatusCode != http.StatusOK ||
+		json.NewDecoder(resp.Body).Decode(&hb) != nil || hb.Status != "ok" {
+		b.setHealth(false, 0, 0)
+		return
+	}
+	b.setHealth(true, hb.Workers, hb.Queue)
+}
+
+// liveBackends returns the names of backends whose last probe succeeded, in
+// configuration order.
+func (c *Coordinator) liveBackends() []string {
+	out := make([]string, 0, len(c.order))
+	for _, name := range c.order {
+		if c.backends[name].isAlive() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// --- response plumbing ---------------------------------------------------
+
+func (c *Coordinator) writeBody(w http.ResponseWriter, route string, code int, source string, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if source != "" {
+		w.Header().Set("X-Hped-Source", source)
+	}
+	w.WriteHeader(code)
+	w.Write(body)
+	c.met.observeRequest(route, code)
+}
+
+// writeError emits one typed error envelope — the identical envelope the
+// backends emit (server.WriteError), so clients branch on one vocabulary.
+// 429/503 carry a Retry-After hint like the backend's.
+func (c *Coordinator) writeError(w http.ResponseWriter, route string, status int, code server.ErrorCode, msg, runID string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(c.retryAfterSeconds()))
+	}
+	server.WriteError(w, status, code, msg, runID)
+	c.met.observeRequest(route, status)
+}
+
+// retryAfterSeconds prices the cluster's backlog: total in-flight shards
+// across backends, divided by the cluster's estimated capacity. Clamped to
+// [1, 300] like the backend's own hint.
+func (c *Coordinator) retryAfterSeconds() int {
+	sat := c.Saturation()
+	inflight := 0
+	for _, s := range c.snapshots() {
+		inflight += s.Inflight
+	}
+	if sat.ClusterRPS <= 0 {
+		return 1
+	}
+	est := float64(inflight+1) / sat.ClusterRPS
+	switch {
+	case est < 1:
+		return 1
+	case est > 300:
+		return 300
+	}
+	return int(est)
+}
+
+// recordSummary indexes id for GET /v1/runs enumeration.
+func (c *Coordinator) recordSummary(id string, m listMeta) {
+	c.sumMu.Lock()
+	c.summaries[id] = m
+	c.sumMu.Unlock()
+}
+
+// summaryOf looks up the recorded enumeration metadata for id.
+func (c *Coordinator) summaryOf(id string) (listMeta, bool) {
+	c.sumMu.Lock()
+	defer c.sumMu.Unlock()
+	m, ok := c.summaries[id]
+	return m, ok
+}
+
+// --- /v1/runs: submission ------------------------------------------------
+
+func (c *Coordinator) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	const route = "run_submit"
+	if c.isDraining() {
+		c.writeError(w, route, http.StatusServiceUnavailable, server.ErrDraining, "coordinator draining", "")
+		return
+	}
+	sp, err := runspec.Decode(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		c.writeError(w, route, http.StatusBadRequest, server.ErrBadSpec, "bad request body: "+err.Error(), "")
+		return
+	}
+	id := sp.ID()
+	c.recordSummary(id, listMeta{kind: "run", summary: runSummaryLine(sp)})
+	c.serveComputed(w, r, route, id, func(ctx context.Context) ([]byte, error) {
+		return c.dispatchRun(ctx, sp, id)
+	})
+}
+
+// runSummaryLine renders the spec sketch shown by GET /v1/runs.
+func runSummaryLine(sp hpe.RunSpec) string {
+	out := fmt.Sprintf("%s %s @%d%%", sp.App, sp.Policy, sp.Rate)
+	if v := sp.VariantLabel(); v != "" {
+		out += " [" + v + "]"
+	}
+	return out
+}
+
+// serveComputed is the coordinator's cache → coalesce → compute path. There
+// is no admission queue here — concurrency is bounded per backend by the
+// dispatch windows — so the error mapping is smaller than the backend's.
+func (c *Coordinator) serveComputed(w http.ResponseWriter, r *http.Request, route, id string,
+	compute func(context.Context) ([]byte, error)) {
+	if body, ok := c.cache.Get(id); ok {
+		c.writeBody(w, route, http.StatusOK, "cache", body)
+		return
+	}
+	body, coalesced, err := c.co.Do(r.Context(), c.baseCtx, id, func(ctx context.Context) ([]byte, error) {
+		body, err := compute(ctx)
+		if err != nil {
+			return nil, err
+		}
+		c.cache.Put(id, body)
+		return body, nil
+	})
+	source := "dispatch"
+	if coalesced {
+		source = "coalesce"
+	}
+	var perm *permanentError
+	switch {
+	case err == nil:
+		c.writeBody(w, route, http.StatusOK, source, body)
+	case errors.As(err, &perm):
+		// The backend rejected the request itself: relay its envelope and
+		// status verbatim — the coordinator adds no vocabulary of its own.
+		c.met.observeRequest(route, perm.status)
+		server.WriteError(w, perm.status, perm.body.Code, perm.body.Message, perm.body.RunID)
+	case r.Context().Err() != nil:
+		c.writeError(w, route, 499, server.ErrClientGone, "client disconnected", id)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		c.writeError(w, route, http.StatusServiceUnavailable, server.ErrCancelled,
+			"computation cancelled: "+err.Error(), id)
+	default:
+		c.logf("coordinator: %s %s failed: %v", route, id, err)
+		c.writeError(w, route, http.StatusServiceUnavailable, server.ErrBackendUnavailable,
+			"no backend could run this shard: "+err.Error(), id)
+	}
+}
+
+// --- /v1/runs/{id}: status and fetch -------------------------------------
+
+func (c *Coordinator) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	const route = "run_get"
+	id := r.PathValue("id")
+	if body, ok := c.cache.Get(id); ok {
+		c.writeBody(w, route, http.StatusOK, "cache", body)
+		return
+	}
+	if waiters, running := c.co.Inflight(id); running {
+		body, _ := json.Marshal(map[string]any{"id": id, "status": "running", "waiters": waiters})
+		c.writeBody(w, route, http.StatusAccepted, "", append(body, '\n'))
+		return
+	}
+	// Not held locally: walk the shard's preference sequence, then any other
+	// live backend (the id may predate a ring change). First cached or
+	// in-flight answer wins.
+	tried := make(map[string]bool)
+	for _, name := range append(c.ring.sequence(id), c.liveBackends()...) {
+		if tried[name] {
+			continue
+		}
+		tried[name] = true
+		b := c.backends[name]
+		if !b.usable(time.Now(), c.cfg.BreakerThreshold) {
+			continue
+		}
+		status, body, err := c.proxyGet(r.Context(), name, "/v1/runs/"+id)
+		if err != nil || status == http.StatusNotFound {
+			continue
+		}
+		if status == http.StatusOK {
+			c.cache.Put(id, body)
+		}
+		c.writeBody(w, route, status, name, body)
+		return
+	}
+	c.writeError(w, route, http.StatusNotFound, server.ErrNotFound,
+		"no backend holds this run (results live in LRU caches; re-POST the request to recompute)", id)
+}
+
+// proxyGet performs one GET against one backend and returns status + body.
+func (c *Coordinator) proxyGet(ctx context.Context, name, path string) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, name+path, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := readAllLimited(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, body, nil
+}
+
+// --- /v1/suite: sharded sweep --------------------------------------------
+
+func (c *Coordinator) handleSuite(w http.ResponseWriter, r *http.Request) {
+	const route = "suite_submit"
+	if c.isDraining() {
+		c.writeError(w, route, http.StatusServiceUnavailable, server.ErrDraining, "coordinator draining", "")
+		return
+	}
+	var req server.SuiteRequest
+	if err := decodeJSON(r, &req); err != nil {
+		c.writeError(w, route, http.StatusBadRequest, server.ErrBadSpec, "bad request body: "+err.Error(), "")
+		return
+	}
+	// The identical normalization (and therefore the identical content
+	// address) as a single backend: a sweep submitted to the coordinator or
+	// straight to a backend is the same sweep.
+	id, err := server.NormalizeSuite(&req)
+	if err != nil {
+		c.writeError(w, route, http.StatusBadRequest, server.ErrBadSpec, err.Error(), "")
+		return
+	}
+	req.Workers = 0 // scheduling is the coordinator's, not the client's
+	c.recordSummary(id, listMeta{kind: "suite",
+		summary: fmt.Sprintf("%d experiments, quick=%t, seed=%d", len(req.IDs), req.Quick, req.Seed)})
+	c.serveComputed(w, r, route, id, func(ctx context.Context) ([]byte, error) {
+		return c.sweepSuite(ctx, req, id)
+	})
+}
+
+// sweepSuite runs one sweep with the experiment harness local and every
+// simulation delegated: the suite enumerates the run matrix, each cell's
+// content-addressed spec is consistent-hashed to a backend, and the local
+// harness aggregates the returned results into reports. RenderSuiteBody is
+// the same renderer a backend uses, so the merged body is byte-identical to
+// a single-node sweep.
+func (c *Coordinator) sweepSuite(ctx context.Context, req server.SuiteRequest, id string) ([]byte, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var errMu sync.Mutex
+	var dispatchErr error // guarded by errMu
+	fail := func(err error) {
+		errMu.Lock()
+		if dispatchErr == nil {
+			dispatchErr = err
+		}
+		errMu.Unlock()
+		cancel() // the sweep cannot complete; stop the whole matrix
+	}
+
+	workers := c.cfg.SuiteWorkers
+	if workers <= 0 {
+		// Adaptive: enough concurrent shards to fill every live backend's
+		// window (workers + queue) without tripping 429s.
+		for _, s := range c.snapshots() {
+			if s.Alive {
+				workers += s.Workers + s.Queue
+			}
+		}
+		if workers < 4 {
+			workers = 4
+		}
+	}
+
+	suite := hpe.NewSuite(hpe.SuiteOptions{
+		Quick:   req.Quick,
+		Seed:    req.Seed,
+		Workers: workers,
+		Context: runCtx,
+		Runner: func(rctx context.Context, sp hpe.RunSpec, rid string) (hpe.Result, error) {
+			body, err := c.dispatchRun(rctx, sp, rid)
+			if err != nil {
+				fail(err)
+				return hpe.Result{}, err
+			}
+			var rr server.RunResponse
+			if err := json.Unmarshal(body, &rr); err != nil {
+				fail(fmt.Errorf("shard %s: malformed run response: %w", rid, err))
+				return hpe.Result{}, err
+			}
+			return rr.Result, nil
+		},
+	})
+	reports, err := suite.Reports(req.IDs)
+	errMu.Lock()
+	de := dispatchErr
+	errMu.Unlock()
+	if de != nil {
+		return nil, de
+	}
+	if err != nil {
+		return nil, err
+	}
+	return server.RenderSuiteBody(id, req, reports)
+}
+
+// --- catalog, health, metrics --------------------------------------------
+
+func (c *Coordinator) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	// The registry is compiled into the coordinator too: serve the identical
+	// bytes locally instead of proxying.
+	c.writeBody(w, "policies", http.StatusOK, "", server.PoliciesBody())
+}
+
+func (c *Coordinator) handleApps(w http.ResponseWriter, r *http.Request) {
+	c.writeBody(w, "apps", http.StatusOK, "", server.AppsBody())
+}
+
+// ClusterHealthBody is the coordinator's /healthz response.
+type ClusterHealthBody struct {
+	Status   string `json:"status"`
+	Backends int    `json:"backends"`
+	Live     int    `json:"live"`
+	// Workers is the summed simulation capacity of the live backends.
+	Workers int `json:"workers"`
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	const route = "healthz"
+	if c.isDraining() {
+		c.writeError(w, route, http.StatusServiceUnavailable, server.ErrDraining, "draining", "")
+		return
+	}
+	hb := ClusterHealthBody{Status: "ok", Backends: len(c.order)}
+	for _, s := range c.snapshots() {
+		if s.Alive {
+			hb.Live++
+			hb.Workers += s.Workers
+		}
+	}
+	if hb.Live == 0 {
+		c.writeError(w, route, http.StatusServiceUnavailable, server.ErrBackendUnavailable,
+			"no live backends", "")
+		return
+	}
+	body, _ := json.Marshal(hb)
+	c.writeBody(w, route, http.StatusOK, "", append(body, '\n'))
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", promtext.ContentType)
+	c.met.render(w, c.snapshots(), c.Saturation(), c.cache.Snapshot(), c.co.Coalesced())
+	c.met.observeRequest("metrics", http.StatusOK)
+}
+
+// decodeJSON reads a bounded request body with unknown fields rejected,
+// matching the backend's decoding discipline.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

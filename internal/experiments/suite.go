@@ -76,6 +76,18 @@ type Options struct {
 	// are never cached. nil means context.Background() — no polling, the
 	// exact pre-context fast path.
 	Context context.Context
+	// Runner, when non-nil, replaces local simulation: every cell of the run
+	// matrix is delegated to it instead of being materialized and simulated
+	// in-process. The spec is already canonical and id is its content
+	// address, so a Runner can route the cell anywhere that speaks the
+	// runspec wire form — the cluster coordinator consistent-hashes id to a
+	// backend and POSTs the spec. Determinism makes the substitution exact:
+	// a remote result is byte-for-byte the result local simulation would
+	// have produced. On error the Runner should cancel Options.Context
+	// (Reports then returns that error); the failed cell yields a Cancelled
+	// placeholder that is never cached. Options.Probe is not invoked for
+	// delegated cells — instrumentation belongs to the executing side.
+	Runner func(ctx context.Context, sp runspec.Spec, id string) (gpu.Result, error)
 }
 
 // RunInfo identifies one simulation of the run matrix, as handed to the
@@ -236,8 +248,17 @@ func (s *Suite) RunSpec(sp runspec.Spec) gpu.Result {
 }
 
 // simulate materializes and runs one spec, attaching (and flushing) the
-// caller's probe when an Options.Probe factory is set.
+// caller's probe when an Options.Probe factory is set. When Options.Runner
+// is set the cell is delegated instead; a Runner error yields a Cancelled
+// placeholder, which RunSpec's cacheable verdict keeps out of the memo.
 func (s *Suite) simulate(sp runspec.Spec, id string) gpu.Result {
+	if s.opts.Runner != nil {
+		r, err := s.opts.Runner(s.ctx(), sp, id)
+		if err != nil {
+			return gpu.Result{Cancelled: true}
+		}
+		return r
+	}
 	m, err := sp.Materialize(s.env())
 	if err != nil {
 		panic("experiments: " + err.Error())

@@ -1,18 +1,22 @@
-package server
+// Package flight deduplicates identical in-flight computations for the
+// serving layers: when N clients submit the same content-addressed ID
+// concurrently, one computation runs and all N receive its bytes. The hped
+// backend coalesces simulations with it; the cluster coordinator coalesces
+// merged suite sweeps. The computation executes on its own goroutine under a
+// context that stays alive while at least one waiter is listening (or the
+// owning server is running), so a leader that disconnects does not kill work
+// other clients still want — and when the last waiter goes away the
+// computation is cancelled mid-flight instead of burning cycles for nobody.
+package flight
 
 import (
 	"context"
+	"sort"
 	"sync"
 )
 
-// coalescer deduplicates identical in-flight requests: when N clients submit
-// the same content-addressed ID concurrently, one simulation runs and all N
-// receive its bytes. The computation executes on its own goroutine under a
-// context that stays alive while at least one waiter is listening (or the
-// server is running), so a leader that disconnects does not kill work other
-// clients still want — and when the last waiter goes away the simulation is
-// cancelled mid-flight instead of burning cycles for nobody.
-type coalescer struct {
+// Group owns a set of keyed in-flight computations.
+type Group struct {
 	mu        sync.Mutex
 	calls     map[string]*call // guarded by mu
 	coalesced uint64           // guarded by mu
@@ -27,16 +31,17 @@ type call struct {
 	cancel  context.CancelFunc // cancels the computation's context
 }
 
-func newCoalescer() *coalescer {
-	return &coalescer{calls: make(map[string]*call)}
+// NewGroup builds an empty Group.
+func NewGroup() *Group {
+	return &Group{calls: make(map[string]*call)}
 }
 
-// do returns the computation's result for id, starting compute at most once
+// Do returns the computation's result for id, starting compute at most once
 // across concurrent callers. base bounds the computation's lifetime (server
 // shutdown); ctx is this caller's interest (client disconnect, timeout).
 // The returned bool reports whether this caller coalesced onto an existing
 // flight rather than starting one.
-func (c *coalescer) do(ctx, base context.Context, id string,
+func (c *Group) Do(ctx, base context.Context, id string,
 	compute func(context.Context) ([]byte, error)) ([]byte, bool, error) {
 	c.mu.Lock()
 	if cl, ok := c.calls[id]; ok {
@@ -76,11 +81,11 @@ func computeSafely(ctx context.Context, compute func(context.Context) ([]byte, e
 // panicError wraps a recovered panic value.
 type panicError struct{ val any }
 
-func (e *panicError) Error() string { return "simulation panicked" }
+func (e *panicError) Error() string { return "computation panicked" }
 
 // wait blocks until the call completes or the caller loses interest. The
 // last departing waiter cancels the computation.
-func (c *coalescer) wait(ctx context.Context, cl *call, coalesced bool) ([]byte, bool, error) {
+func (c *Group) wait(ctx context.Context, cl *call, coalesced bool) ([]byte, bool, error) {
 	select {
 	case <-cl.done:
 		return cl.body, coalesced, cl.err
@@ -96,9 +101,9 @@ func (c *coalescer) wait(ctx context.Context, cl *call, coalesced bool) ([]byte,
 	}
 }
 
-// inflight reports whether id is currently being computed and for how many
-// waiters (GET /v1/runs status).
-func (c *coalescer) inflight(id string) (waiters int, running bool) {
+// Inflight reports whether id is currently being computed and for how many
+// waiters (GET /v1/runs/{id} status).
+func (c *Group) Inflight(id string) (waiters int, running bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cl, ok := c.calls[id]
@@ -108,8 +113,21 @@ func (c *coalescer) inflight(id string) (waiters int, running bool) {
 	return cl.waiters, true
 }
 
+// InflightIDs returns every in-flight computation's ID in canonical
+// (lexicographic) order — the enumeration order GET /v1/runs paginates in.
+func (c *Group) InflightIDs() []string {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.calls))
+	for id := range c.calls {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
 // Coalesced returns the number of requests that joined an existing flight.
-func (c *coalescer) Coalesced() uint64 {
+func (c *Group) Coalesced() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.coalesced

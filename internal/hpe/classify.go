@@ -1,6 +1,10 @@
 package hpe
 
-import "math"
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
 
 // RatioStats carries the classification statistics of §IV-D, computed over
 // the page-set chain when the GPU memory first fills.
@@ -16,6 +20,88 @@ type RatioStats struct {
 	// +Inf; 0/0 yields 0.
 	Ratio1 float64
 	Ratio2 float64
+}
+
+// wireRatio is the JSON form of a classification ratio. Ratio2 is +Inf for
+// any workload with large-regular but no small-regular sets (NW at low
+// rates, for one), and encoding/json rejects non-finite numbers outright —
+// without this wrapper such a result cannot travel over /v1/runs at all.
+// Non-finite values encode as the strings "+Inf"/"-Inf"/"NaN"; finite values
+// stay plain numbers, so the wire form is unchanged wherever it worked
+// before.
+type wireRatio float64
+
+func (r wireRatio) MarshalJSON() ([]byte, error) {
+	f := float64(r)
+	switch {
+	case math.IsInf(f, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(f, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(f):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(f)
+}
+
+func (r *wireRatio) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "+Inf":
+			*r = wireRatio(math.Inf(1))
+		case "-Inf":
+			*r = wireRatio(math.Inf(-1))
+		case "NaN":
+			*r = wireRatio(math.NaN())
+		default:
+			return fmt.Errorf("hpe: unknown ratio sentinel %q", s)
+		}
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*r = wireRatio(f)
+	return nil
+}
+
+// wireRatioStats mirrors RatioStats field for field with wire-safe ratios.
+type wireRatioStats struct {
+	Regular      int
+	Irregular    int
+	SmallRegular int
+	LargeRegular int
+	Ratio1       wireRatio
+	Ratio2       wireRatio
+}
+
+// MarshalJSON encodes the ratios wire-safely (see wireRatio).
+func (s RatioStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(wireRatioStats{
+		Regular: s.Regular, Irregular: s.Irregular,
+		SmallRegular: s.SmallRegular, LargeRegular: s.LargeRegular,
+		Ratio1: wireRatio(s.Ratio1), Ratio2: wireRatio(s.Ratio2),
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, accepting both the sentinel
+// strings and plain numbers.
+func (s *RatioStats) UnmarshalJSON(b []byte) error {
+	var w wireRatioStats
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	*s = RatioStats{
+		Regular: w.Regular, Irregular: w.Irregular,
+		SmallRegular: w.SmallRegular, LargeRegular: w.LargeRegular,
+		Ratio1: float64(w.Ratio1), Ratio2: float64(w.Ratio2),
+	}
+	return nil
 }
 
 func ratio(num, den int) float64 {

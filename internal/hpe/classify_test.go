@@ -1,7 +1,9 @@
 package hpe
 
 import (
+	"encoding/json"
 	"math"
+	"strings"
 	"testing"
 
 	"hpe/internal/addrspace"
@@ -95,5 +97,33 @@ func TestStringers(t *testing.T) {
 	}
 	if StrategyMRUC.String() != "MRU-C" || CategoryIrregular1.String() != "irregular#1" {
 		t.Fatal("paper names not used")
+	}
+}
+
+// TestRatioStatsWireRoundTrip pins the wire-safe ratio encoding: +Inf —
+// which encoding/json rejects as a plain float — must survive a marshal /
+// unmarshal cycle exactly, and finite ratios must stay plain JSON numbers.
+func TestRatioStatsWireRoundTrip(t *testing.T) {
+	in := RatioStats{Regular: 3, Irregular: 1, SmallRegular: 0, LargeRegular: 2,
+		Ratio1: 1.0 / 3.0, Ratio2: math.Inf(1)}
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal with +Inf ratio: %v", err)
+	}
+	if !strings.Contains(string(raw), `"Ratio2":"+Inf"`) {
+		t.Fatalf("non-finite ratio not encoded as sentinel: %s", raw)
+	}
+	if strings.Contains(string(raw), `"Ratio1":"`) {
+		t.Fatalf("finite ratio left the plain-number encoding: %s", raw)
+	}
+	var out RatioStats
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if err := json.Unmarshal([]byte(`{"Ratio1":"bogus"}`), &out); err == nil {
+		t.Fatal("unknown ratio sentinel accepted")
 	}
 }

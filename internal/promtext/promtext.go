@@ -1,0 +1,107 @@
+// Package promtext renders the Prometheus text exposition format
+// (version 0.0.4) without any external dependency: counters, gauges, and
+// histograms backed by internal/stats power-of-two histograms. It is shared
+// by the hped backend's /metrics and the cluster coordinator's /metrics.
+// Families render in the order they are emitted; labelled series within a
+// family are sorted, so the output is deterministic for deterministic inputs.
+package promtext
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"hpe/internal/stats"
+)
+
+// ContentType is the exposition content type for the /metrics response.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Writer emits one exposition document to w.
+type Writer struct {
+	w io.Writer
+}
+
+// New returns a Writer over w.
+func New(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Label is one name="value" pair.
+type Label struct{ Name, Value string }
+
+func (p *Writer) header(name, kind, help string) {
+	fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+}
+
+func (p *Writer) series(name string, labels []Label, value string) {
+	if len(labels) == 0 {
+		fmt.Fprintf(p.w, "%s %s\n", name, value)
+		return
+	}
+	fmt.Fprintf(p.w, "%s{", name)
+	for i, l := range labels {
+		if i > 0 {
+			io.WriteString(p.w, ",")
+		}
+		fmt.Fprintf(p.w, "%s=%q", l.Name, l.Value)
+	}
+	fmt.Fprintf(p.w, "} %s\n", value)
+}
+
+// Counter emits a single-series counter family.
+func (p *Writer) Counter(name, help string, v uint64) {
+	p.header(name, "counter", help)
+	p.series(name, nil, strconv.FormatUint(v, 10))
+}
+
+// LabelledCounter emits a counter family with one series per entry, sorted
+// by the rendered label set for deterministic output.
+func (p *Writer) LabelledCounter(name, help string, series map[string]uint64, labelName string) {
+	p.header(name, "counter", help)
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.series(name, []Label{{labelName, k}}, strconv.FormatUint(series[k], 10))
+	}
+}
+
+// Gauge emits a single-series gauge family.
+func (p *Writer) Gauge(name, help string, v float64) {
+	p.header(name, "gauge", help)
+	p.series(name, nil, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// LabelledGauge emits a gauge family with one series per entry, sorted by
+// label value for deterministic output.
+func (p *Writer) LabelledGauge(name, help string, series map[string]float64, labelName string) {
+	p.header(name, "gauge", help)
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.series(name, []Label{{labelName, k}}, strconv.FormatFloat(series[k], 'g', -1, 64))
+	}
+}
+
+// Histogram emits h as a cumulative Prometheus histogram. Samples were
+// observed in integer units (e.g. microseconds); scale converts one sample
+// unit into the exported unit (e.g. 1e-6 for seconds). Bucket bounds are the
+// histogram's power-of-two upper bounds — sparse `le` lists are legal as
+// long as counts are cumulative and +Inf is present.
+func (p *Writer) Histogram(name, help string, h *stats.Histogram, scale float64) {
+	p.header(name, "histogram", help)
+	var cum uint64
+	h.Buckets(func(upper, count uint64) {
+		cum += count
+		p.series(name+"_bucket", []Label{{"le", strconv.FormatFloat(float64(upper)*scale, 'g', -1, 64)}},
+			strconv.FormatUint(cum, 10))
+	})
+	p.series(name+"_bucket", []Label{{"le", "+Inf"}}, strconv.FormatUint(h.Count(), 10))
+	p.series(name+"_sum", nil, strconv.FormatFloat(float64(h.Sum())*scale, 'g', -1, 64))
+	p.series(name+"_count", nil, strconv.FormatUint(h.Count(), 10))
+}

@@ -1,18 +1,21 @@
-package server
+// Package respcache is the content-addressed response cache shared by the
+// hped backend and the cluster coordinator: an LRU over rendered response
+// bodies keyed by run ID, bounded by a byte budget rather than an entry
+// count (a suite sweep's body is thousands of times larger than a single
+// run's). Because IDs are content addresses of canonicalized requests and
+// every simulation is deterministic, a hit is byte-identical to what a fresh
+// simulation would render — the cache can never serve a stale or wrong body,
+// only save the minutes it would take to recompute one.
+package respcache
 
 import (
 	"container/list"
+	"sort"
 	"sync"
 )
 
-// resultCache is the content-addressed result cache: an LRU over rendered
-// response bodies keyed by run ID, bounded by a byte budget rather than an
-// entry count (a suite sweep's body is thousands of times larger than a
-// single run's). Because IDs are content addresses of canonicalized requests
-// and every simulation is deterministic, a hit is byte-identical to what a
-// fresh simulation would render — the cache can never serve a stale or
-// wrong body, only save the minutes it would take to recompute one.
-type resultCache struct {
+// Cache is the byte-budget LRU. Construct with New; safe for concurrent use.
+type Cache struct {
 	mu     sync.Mutex
 	budget int64                    // immutable after construction
 	bytes  int64                    // guarded by mu
@@ -27,10 +30,10 @@ type cacheEntry struct {
 	body []byte
 }
 
-// newResultCache builds a cache with the given byte budget. A budget <= 0
-// disables caching (every Get misses, Put is a no-op).
-func newResultCache(budget int64) *resultCache {
-	return &resultCache{
+// New builds a cache with the given byte budget. A budget <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func New(budget int64) *Cache {
+	return &Cache{
 		budget: budget,
 		ll:     list.New(),
 		items:  make(map[string]*list.Element),
@@ -38,7 +41,7 @@ func newResultCache(budget int64) *resultCache {
 }
 
 // Get returns the cached body for id, marking it most recently used.
-func (c *resultCache) Get(id string) ([]byte, bool) {
+func (c *Cache) Get(id string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[id]
@@ -54,7 +57,7 @@ func (c *resultCache) Get(id string) ([]byte, bool) {
 // Put inserts body under id, evicting least-recently-used entries until the
 // byte budget holds. A body larger than the whole budget is not cached.
 // Callers must not mutate body after handing it over.
-func (c *resultCache) Put(id string, body []byte) {
+func (c *Cache) Put(id string, body []byte) {
 	if int64(len(body)) > c.budget {
 		return
 	}
@@ -82,8 +85,21 @@ func (c *resultCache) Put(id string, body []byte) {
 	}
 }
 
-// cacheStats is a point-in-time snapshot for /metrics and shutdown logging.
-type cacheStats struct {
+// IDs returns every cached ID in canonical (lexicographic) order — the
+// enumeration order GET /v1/runs paginates in.
+func (c *Cache) IDs() []string {
+	c.mu.Lock()
+	ids := make([]string, 0, len(c.items))
+	for id := range c.items {
+		ids = append(ids, id)
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// Stats is a point-in-time snapshot for /metrics and shutdown logging.
+type Stats struct {
 	Entries   int
 	Bytes     int64
 	Budget    int64
@@ -92,11 +108,11 @@ type cacheStats struct {
 	Evictions uint64
 }
 
-// Stats snapshots the cache counters.
-func (c *resultCache) Stats() cacheStats {
+// Snapshot reads the cache counters.
+func (c *Cache) Snapshot() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{
+	return Stats{
 		Entries:   len(c.items),
 		Bytes:     c.bytes,
 		Budget:    c.budget,

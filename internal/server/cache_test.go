@@ -14,65 +14,6 @@ import (
 	"hpe/internal/runspec"
 )
 
-// --- resultCache unit tests ----------------------------------------------
-
-func TestResultCacheLRUEviction(t *testing.T) {
-	c := newResultCache(10)
-	c.Put("a", []byte("aaaa")) // 4 bytes
-	c.Put("b", []byte("bbbb")) // 8 bytes
-	if _, ok := c.Get("a"); !ok {
-		t.Fatal("a missing before budget pressure")
-	}
-	// a is now most recently used; inserting 4 more bytes must evict b.
-	c.Put("c", []byte("cccc"))
-	if _, ok := c.Get("b"); ok {
-		t.Error("b survived eviction despite being least recently used")
-	}
-	if _, ok := c.Get("a"); !ok {
-		t.Error("a evicted despite being most recently used")
-	}
-	if _, ok := c.Get("c"); !ok {
-		t.Error("c missing right after insertion")
-	}
-	st := c.Stats()
-	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != 8 {
-		t.Errorf("stats after eviction: %+v", st)
-	}
-}
-
-func TestResultCacheOversizedBodySkipped(t *testing.T) {
-	c := newResultCache(4)
-	c.Put("big", []byte("too large"))
-	if _, ok := c.Get("big"); ok {
-		t.Error("body larger than the whole budget was cached")
-	}
-	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
-		t.Errorf("oversized Put leaked accounting: %+v", st)
-	}
-}
-
-func TestResultCacheReinsertRefreshesRecency(t *testing.T) {
-	c := newResultCache(8)
-	c.Put("a", []byte("aaaa"))
-	c.Put("b", []byte("bbbb"))
-	c.Put("a", []byte("aaaa")) // refresh, not duplicate
-	c.Put("c", []byte("cccc")) // must evict b, not a
-	if _, ok := c.Get("a"); !ok {
-		t.Error("re-inserted entry was evicted")
-	}
-	if _, ok := c.Get("b"); ok {
-		t.Error("stale entry survived")
-	}
-}
-
-func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(-1)
-	c.Put("a", []byte("aaaa"))
-	if _, ok := c.Get("a"); ok {
-		t.Error("negative budget should disable caching")
-	}
-}
-
 // --- coalescing end-to-end ------------------------------------------------
 
 // runsSnapshot reads the leader-computation counters (test helper).
@@ -138,7 +79,7 @@ func TestConcurrentIdenticalRunsCoalesce(t *testing.T) {
 			// Wait until the leader's computation is registered, then join it.
 			deadline := time.Now().Add(10 * time.Second)
 			for {
-				if _, running := srv.co.inflight(id); running {
+				if _, running := srv.co.Inflight(id); running {
 					break
 				}
 				if time.Now().After(deadline) {

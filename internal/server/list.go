@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"hpe/internal/runspec"
+)
+
+// GET /v1/runs — run enumeration. Lists every cached and in-flight
+// computation ID with a short spec summary, in canonical (lexicographic) ID
+// order, paginated with limit/after. The cluster coordinator reconciles
+// shard state over this endpoint instead of a side channel: the union of the
+// backends' listings is the cluster's run inventory.
+
+// RunListEntry is one enumerated computation.
+type RunListEntry struct {
+	// ID is the content address (run-v2-… or suite-…).
+	ID string `json:"id"`
+	// Status is "cached" or "running".
+	Status string `json:"status"`
+	// Kind is "run" or "suite".
+	Kind string `json:"kind"`
+	// Summary is a one-line human sketch of the request ("HSD hpe @75%");
+	// empty when the entry predates this server's summary index (e.g. a
+	// coordinator merging an older backend).
+	Summary string `json:"summary,omitempty"`
+}
+
+// RunListResponse is the GET /v1/runs body.
+type RunListResponse struct {
+	Runs []RunListEntry `json:"runs"`
+	// Truncated reports that more entries exist past the last one returned;
+	// pass after=<last id> to continue.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// listLimits bounds the page size.
+const (
+	defaultListLimit = 500
+	maxListLimit     = 5000
+)
+
+// runSummary is the enumeration metadata recorded at submission time.
+type runSummary struct {
+	Kind    string
+	Summary string
+}
+
+// recordSummary indexes id for GET /v1/runs. The index is pruned against
+// cache + in-flight membership on every listing, so it cannot grow past the
+// set of ids the server can actually answer for.
+func (s *Server) recordSummary(id string, sum runSummary) {
+	s.sumMu.Lock()
+	s.summaries[id] = sum
+	s.sumMu.Unlock()
+}
+
+// specSummary renders a run spec's one-line enumeration sketch.
+func specSummary(sp runspec.Spec) string {
+	out := fmt.Sprintf("%s %s @%d%%", sp.App, sp.Policy, sp.Rate)
+	if v := sp.VariantLabel(); v != "" {
+		out += " [" + v + "]"
+	}
+	return out
+}
+
+// ParseListQuery extracts the shared limit/after pagination parameters; the
+// coordinator parses the identical query surface.
+func ParseListQuery(r *http.Request) (limit int, after string, err error) {
+	limit = defaultListLimit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		limit, err = strconv.Atoi(raw)
+		if err != nil || limit < 1 {
+			return 0, "", fmt.Errorf("limit must be a positive integer, got %q", raw)
+		}
+		if limit > maxListLimit {
+			limit = maxListLimit
+		}
+	}
+	return limit, r.URL.Query().Get("after"), nil
+}
+
+// ListRuns enumerates the server's cached and in-flight computations in
+// canonical ID order, applying limit/after pagination.
+func (s *Server) ListRuns(limit int, after string) RunListResponse {
+	cached := s.cache.IDs()
+	inflight := s.co.InflightIDs()
+
+	status := make(map[string]string, len(cached)+len(inflight))
+	for _, id := range inflight {
+		status[id] = "running"
+	}
+	for _, id := range cached {
+		status[id] = "cached" // a cached entry wins: the bytes are final
+	}
+	ids := make([]string, 0, len(status))
+	for id := range status {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	// Prune the summary index down to ids the server can still answer for.
+	live := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		live[id] = true
+	}
+	s.sumMu.Lock()
+	for id := range s.summaries {
+		if !live[id] {
+			delete(s.summaries, id)
+		}
+	}
+	sums := make(map[string]runSummary, len(ids))
+	for id, sum := range s.summaries {
+		sums[id] = sum
+	}
+	s.sumMu.Unlock()
+
+	var out RunListResponse
+	for _, id := range ids {
+		if after != "" && id <= after {
+			continue
+		}
+		if len(out.Runs) == limit {
+			out.Truncated = true
+			break
+		}
+		sum := sums[id]
+		if sum.Kind == "" {
+			sum.Kind = kindOfID(id)
+		}
+		out.Runs = append(out.Runs, RunListEntry{ID: id, Status: status[id],
+			Kind: sum.Kind, Summary: sum.Summary})
+	}
+	return out
+}
+
+// kindOfID classifies an ID by its content-address prefix when no summary
+// was recorded.
+func kindOfID(id string) string {
+	if len(id) >= 6 && id[:6] == "suite-" {
+		return "suite"
+	}
+	return "run"
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	const route = "run_list"
+	limit, after, err := ParseListQuery(r)
+	if err != nil {
+		s.writeError(w, route, http.StatusBadRequest, ErrBadSpec, err.Error(), "")
+		return
+	}
+	body, err := json.Marshal(s.ListRuns(limit, after))
+	if err != nil {
+		s.writeError(w, route, http.StatusInternalServerError, ErrInternal, err.Error(), "")
+		return
+	}
+	s.writeBody(w, route, http.StatusOK, "", append(body, '\n'))
+}

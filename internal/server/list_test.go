@@ -1,0 +1,232 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// --- v1 error envelope ----------------------------------------------------
+
+// TestErrorEnvelopeCodes pins the typed error vocabulary: every rejection
+// carries the machine-readable {"error":{"code",...}} envelope with the code
+// a client (or the cluster coordinator) can switch on.
+func TestErrorEnvelopeCodes(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1})
+
+	// Invalid spec → bad_spec.
+	code, _, body := postRun(t, ts.Client(), ts.URL, `{"app":"NOPE","policy":"lru","rate":75}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d: %s", code, body)
+	}
+	eb, ok := DecodeError(body)
+	if !ok || eb.Code != ErrBadSpec {
+		t.Errorf("bad spec envelope = %+v (ok=%t), want code %q", eb, ok, ErrBadSpec)
+	}
+	if eb.Message == "" {
+		t.Error("bad_spec envelope has no message")
+	}
+
+	// Unknown run ID → not_found, echoing the ID the client asked for.
+	code, body = get(t, ts, "/v1/runs/run-v2-00000000000000000000000000000000")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown id: status %d: %s", code, body)
+	}
+	if eb, ok = DecodeError(body); !ok || eb.Code != ErrNotFound {
+		t.Errorf("not-found envelope = %+v (ok=%t), want code %q", eb, ok, ErrNotFound)
+	}
+	if eb.RunID != "run-v2-00000000000000000000000000000000" {
+		t.Errorf("not-found envelope run_id = %q, want the requested id", eb.RunID)
+	}
+
+	// Bad pagination → bad_spec.
+	if code, body = get(t, ts, "/v1/runs?limit=zero"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit: status %d: %s", code, body)
+	}
+	if eb, ok = DecodeError(body); !ok || eb.Code != ErrBadSpec {
+		t.Errorf("bad-limit envelope = %+v (ok=%t), want code %q", eb, ok, ErrBadSpec)
+	}
+
+	// Draining → draining, with a Retry-After pacing hint.
+	srv.Drain()
+	resp, err := ts.Client().Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"app":"KMN","policy":"lru","rate":50}`))
+	if err != nil {
+		t.Fatalf("POST while draining: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining: status %d", resp.StatusCode)
+	}
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode draining envelope: %v", err)
+	}
+	if env.Err.Code != ErrDraining {
+		t.Errorf("draining envelope code = %q, want %q", env.Err.Code, ErrDraining)
+	}
+	assertRetryAfter(t, resp.Header)
+}
+
+// assertRetryAfter checks the Retry-After header is a usable number of
+// seconds — an integer in [1, 300] — not merely present.
+func assertRetryAfter(t *testing.T, h http.Header) {
+	t.Helper()
+	raw := h.Get("Retry-After")
+	if raw == "" {
+		t.Error("backpressure response lacks Retry-After")
+		return
+	}
+	sec, err := strconv.Atoi(raw)
+	if err != nil || sec < 1 || sec > 300 {
+		t.Errorf("Retry-After = %q, want an integer in [1, 300]", raw)
+	}
+}
+
+// --- GET /v1/runs ---------------------------------------------------------
+
+func TestListRunsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	// Empty server → empty listing, not an error.
+	code, body := get(t, ts, "/v1/runs")
+	if code != http.StatusOK {
+		t.Fatalf("empty list: status %d: %s", code, body)
+	}
+	var empty RunListResponse
+	if err := json.Unmarshal(body, &empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Runs) != 0 || empty.Truncated {
+		t.Fatalf("empty server lists %+v", empty)
+	}
+
+	specs := []string{
+		`{"app":"HOT","policy":"lru","rate":75}`,
+		`{"app":"STN","policy":"lru","rate":75}`,
+		`{"app":"KMN","policy":"lru","rate":50}`,
+	}
+	ids := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		code, _, body := postRun(t, ts.Client(), ts.URL, sp)
+		if code != http.StatusOK {
+			t.Fatalf("run: status %d: %s", code, body)
+		}
+		var rr RunResponse
+		if err := json.Unmarshal(body, &rr); err != nil {
+			t.Fatal(err)
+		}
+		ids[rr.ID] = true
+	}
+
+	code, body = get(t, ts, "/v1/runs")
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d: %s", code, body)
+	}
+	var list RunListResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Runs) != len(specs) {
+		t.Fatalf("listed %d runs, want %d: %+v", len(list.Runs), len(specs), list.Runs)
+	}
+	for i, e := range list.Runs {
+		if !ids[e.ID] {
+			t.Errorf("unexpected entry %+v", e)
+		}
+		if e.Status != "cached" || e.Kind != "run" {
+			t.Errorf("entry %+v: want status cached, kind run", e)
+		}
+		if e.Summary == "" {
+			t.Errorf("entry %s has no spec summary", e.ID)
+		}
+		if i > 0 && list.Runs[i-1].ID >= e.ID {
+			t.Errorf("listing out of canonical order: %q before %q", list.Runs[i-1].ID, e.ID)
+		}
+	}
+
+	// Pagination: limit=1 pages walk the same set in the same order, the
+	// after parameter is exclusive, and Truncated flags every non-final page.
+	var walked []string
+	after := ""
+	pages := 0
+	for {
+		path := "/v1/runs?limit=1"
+		if after != "" {
+			path += "&after=" + url.QueryEscape(after)
+		}
+		code, body := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("page: status %d", code)
+		}
+		var page RunListResponse
+		if err := json.Unmarshal(body, &page); err != nil {
+			t.Fatal(err)
+		}
+		if len(page.Runs) > 1 {
+			t.Fatalf("page holds %d entries, limit was 1", len(page.Runs))
+		}
+		if len(page.Runs) == 0 {
+			break
+		}
+		walked = append(walked, page.Runs[0].ID)
+		if pages++; pages > len(specs) {
+			t.Fatal("pagination never terminates")
+		}
+		if !page.Truncated {
+			break
+		}
+		after = page.Runs[0].ID
+	}
+	if len(walked) != len(list.Runs) {
+		t.Fatalf("pagination walked %d entries, full listing has %d", len(walked), len(list.Runs))
+	}
+	for i, e := range list.Runs {
+		if walked[i] != e.ID {
+			t.Errorf("pagination order diverges at %d: %q vs %q", i, walked[i], e.ID)
+		}
+	}
+
+	// after past the end → empty page, no Truncated.
+	code, body = get(t, ts, "/v1/runs?after="+url.QueryEscape(walked[len(walked)-1]))
+	if code != http.StatusOK {
+		t.Fatalf("tail page: status %d", code)
+	}
+	var tail RunListResponse
+	if err := json.Unmarshal(body, &tail); err != nil {
+		t.Fatal(err)
+	}
+	if len(tail.Runs) != 0 || tail.Truncated {
+		t.Fatalf("page past the end lists %+v", tail)
+	}
+}
+
+func TestParseListQuery(t *testing.T) {
+	mk := func(query string) *http.Request {
+		return httptest.NewRequest(http.MethodGet, "/v1/runs?"+query, nil)
+	}
+	if limit, after, err := ParseListQuery(mk("")); err != nil || limit != defaultListLimit || after != "" {
+		t.Errorf("defaults: limit=%d after=%q err=%v", limit, after, err)
+	}
+	if limit, _, err := ParseListQuery(mk("limit=7")); err != nil || limit != 7 {
+		t.Errorf("explicit limit: %d, %v", limit, err)
+	}
+	if limit, _, err := ParseListQuery(mk("limit=999999")); err != nil || limit != maxListLimit {
+		t.Errorf("oversized limit should clamp to %d, got %d, %v", maxListLimit, limit, err)
+	}
+	for _, bad := range []string{"limit=0", "limit=-3", "limit=ten"} {
+		if _, _, err := ParseListQuery(mk(bad)); err == nil {
+			t.Errorf("%s accepted", bad)
+		}
+	}
+	if _, after, err := ParseListQuery(mk("after=run-v2-abc")); err != nil || after != "run-v2-abc" {
+		t.Errorf("after: %q, %v", after, err)
+	}
+}

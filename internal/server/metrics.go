@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"hpe/internal/probe"
+	"hpe/internal/promtext"
+	"hpe/internal/respcache"
 	"hpe/internal/stats"
 )
 
@@ -86,6 +88,19 @@ func (m *serverMetrics) runFinished(d time.Duration, err error, suite bool) {
 	}
 }
 
+// meanRunSeconds is the observed mean leader-computation latency across runs
+// and sweeps, in seconds; 0 before anything has completed. The Retry-After
+// estimate prices the admission backlog with it.
+func (m *serverMetrics) meanRunSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	count := m.simLat.Count() + m.suiteLat.Count()
+	if count == 0 {
+		return 0
+	}
+	return float64(m.simLat.Sum()+m.suiteLat.Sum()) / float64(count) * 1e-6
+}
+
 // mergeProbe folds one run's probe snapshot into the per-kind event totals.
 func (m *serverMetrics) mergeProbe(s *probe.Snapshot) {
 	if s == nil {
@@ -108,43 +123,43 @@ func (m *serverMetrics) simEventTotal(kind string) uint64 {
 // render writes the full Prometheus exposition, combining the metrics'
 // own state with the point-in-time cache, queue, and coalescer figures the
 // Server passes in.
-func (m *serverMetrics) render(w io.Writer, cs cacheStats, queued, running int,
+func (m *serverMetrics) render(w io.Writer, cs respcache.Stats, queued, running int,
 	rejected, coalesced uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	p := &promText{w: w}
+	p := promtext.New(w)
 
-	p.labelledCounter("hped_requests_total",
+	p.LabelledCounter("hped_requests_total",
 		"HTTP responses by route and status code.", m.requests, "route_code")
-	p.counter("hped_runs_started_total",
+	p.Counter("hped_runs_started_total",
 		"Leader computations started (coalesced waiters excluded).", m.runsStarted)
-	p.counter("hped_runs_completed_total",
+	p.Counter("hped_runs_completed_total",
 		"Leader computations that ran to completion.", m.runsCompleted)
-	p.counter("hped_runs_cancelled_total",
+	p.Counter("hped_runs_cancelled_total",
 		"Leader computations stopped early by cancellation.", m.runsCancelled)
-	p.counter("hped_runs_failed_total",
+	p.Counter("hped_runs_failed_total",
 		"Leader computations that errored (including recovered panics).", m.runsFailed)
-	p.counter("hped_runs_coalesced_total",
+	p.Counter("hped_runs_coalesced_total",
 		"Requests served by joining an identical in-flight computation.", coalesced)
 
-	p.counter("hped_cache_hits_total", "Result-cache hits.", cs.Hits)
-	p.counter("hped_cache_misses_total", "Result-cache misses.", cs.Misses)
-	p.counter("hped_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)
-	p.gauge("hped_cache_bytes", "Bytes of response bodies held by the result cache.", float64(cs.Bytes))
-	p.gauge("hped_cache_entries", "Entries held by the result cache.", float64(cs.Entries))
+	p.Counter("hped_cache_hits_total", "Result-cache hits.", cs.Hits)
+	p.Counter("hped_cache_misses_total", "Result-cache misses.", cs.Misses)
+	p.Counter("hped_cache_evictions_total", "Result-cache LRU evictions.", cs.Evictions)
+	p.Gauge("hped_cache_bytes", "Bytes of response bodies held by the result cache.", float64(cs.Bytes))
+	p.Gauge("hped_cache_entries", "Entries held by the result cache.", float64(cs.Entries))
 
-	p.gauge("hped_queue_depth", "Admitted computations waiting for a worker slot.", float64(queued))
-	p.gauge("hped_running", "Computations currently holding a worker slot.", float64(running))
-	p.counter("hped_queue_rejected_total",
+	p.Gauge("hped_queue_depth", "Admitted computations waiting for a worker slot.", float64(queued))
+	p.Gauge("hped_running", "Computations currently holding a worker slot.", float64(running))
+	p.Counter("hped_queue_rejected_total",
 		"Submissions refused with 429 because the admission queue was full.", rejected)
 
-	p.histogram("hped_cached_hit_latency_seconds",
+	p.Histogram("hped_cached_hit_latency_seconds",
 		"Latency of responses served from the result cache.", &m.cachedLat, 1e-6)
-	p.histogram("hped_run_latency_seconds",
+	p.Histogram("hped_run_latency_seconds",
 		"Latency of single-run simulations (leader computations).", &m.simLat, 1e-6)
-	p.histogram("hped_suite_latency_seconds",
+	p.Histogram("hped_suite_latency_seconds",
 		"Latency of suite sweeps (leader computations).", &m.suiteLat, 1e-6)
 
-	p.labelledCounter("hped_sim_events_total",
+	p.LabelledCounter("hped_sim_events_total",
 		"Simulator probe events aggregated across served runs, by kind.", m.simEvents, "kind")
 }

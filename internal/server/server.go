@@ -11,18 +11,21 @@
 // Endpoints:
 //
 //	POST /v1/runs        submit a run spec (runspec.Spec wire form)
+//	GET  /v1/runs        enumerate cached + in-flight run IDs (limit/after)
 //	GET  /v1/runs/{id}   result (from cache) or in-flight status
 //	POST /v1/suite       whole-matrix sweep through the experiment harness
 //	GET  /v1/policies    the eviction-policy registry
 //	GET  /v1/apps        the Table II workload catalog
-//	GET  /healthz        liveness (503 while draining)
+//	GET  /healthz        liveness (503 while draining; body carries capacity)
 //	GET  /metrics        Prometheus text exposition
 //
 // Run IDs are runspec content addresses (Spec.ID()), so identical requests —
 // across clients, across restarts, across replicas, and across the suite and
 // CLI layers that speak the same spec — share one ID, one simulation, and one
 // cache entry, and byte-identical bodies are guaranteed by the simulator's
-// determinism contract.
+// determinism contract. Errors are typed envelopes (errors.go): every non-2xx
+// JSON body is {"error":{"code","message","run_id?"}} with a machine-readable
+// code shared verbatim with the cluster coordinator.
 package server
 
 import (
@@ -33,10 +36,13 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"hpe"
+	"hpe/internal/flight"
+	"hpe/internal/respcache"
 	"hpe/internal/runspec"
 )
 
@@ -82,8 +88,8 @@ type Server struct {
 	cfg        Config
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
-	cache      *resultCache
-	co         *coalescer
+	cache      *respcache.Cache
+	co         *flight.Group
 	adm        *admission
 	met        *serverMetrics
 	mux        *http.ServeMux
@@ -92,6 +98,9 @@ type Server struct {
 
 	traceMu sync.Mutex
 	traces  map[string]*traceEntry // guarded by traceMu
+
+	sumMu     sync.Mutex
+	summaries map[string]runSummary // guarded by sumMu; id → enumeration summary
 }
 
 type traceEntry struct {
@@ -108,15 +117,17 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		cache:      newResultCache(cfg.CacheBytes),
-		co:         newCoalescer(),
+		cache:      respcache.New(cfg.CacheBytes),
+		co:         flight.NewGroup(),
 		adm:        newAdmission(cfg.Workers, cfg.QueueDepth),
 		met:        newServerMetrics(),
 		draining:   make(chan struct{}),
 		traces:     make(map[string]*traceEntry),
+		summaries:  make(map[string]runSummary),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	mux.HandleFunc("POST /v1/suite", s.handleSuite)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
@@ -151,7 +162,7 @@ func (s *Server) isDraining() bool {
 func (s *Server) Close() string {
 	s.Drain()
 	s.baseCancel()
-	cs := s.cache.Stats()
+	cs := s.cache.Snapshot()
 	queued, running := s.adm.Depths()
 	return fmt.Sprintf(
 		"cache: %d entries, %d/%d bytes, %d hits, %d misses, %d evictions; coalesced %d, rejected %d, queued %d, running %d",
@@ -182,9 +193,35 @@ func (s *Server) writeBody(w http.ResponseWriter, route string, code int, source
 	s.met.observeRequest(route, code)
 }
 
-func (s *Server) writeErr(w http.ResponseWriter, route string, code int, msg string) {
-	body, _ := json.Marshal(map[string]string{"error": msg})
-	s.writeBody(w, route, code, "", append(body, '\n'))
+// writeError emits one typed error envelope (errors.go). 429 and 503
+// responses carry a Retry-After hint derived from the admission queue's
+// depth, so backpressured clients pace themselves instead of guessing.
+func (s *Server) writeError(w http.ResponseWriter, route string, status int, code ErrorCode, msg, runID string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	}
+	WriteError(w, status, code, msg, runID)
+	s.met.observeRequest(route, status)
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait before
+// the admission queue plausibly has room: the queued-plus-running backlog,
+// divided across the worker pool, priced at the observed mean computation
+// latency (1 s before any run has completed). Clamped to [1, 300].
+func (s *Server) retryAfterSeconds() int {
+	queued, running := s.adm.Depths()
+	mean := s.met.meanRunSeconds()
+	if mean <= 0 {
+		mean = 1
+	}
+	est := math.Ceil(float64(queued+running+1) * mean / float64(s.cfg.Workers))
+	if est < 1 {
+		est = 1
+	}
+	if est > 300 {
+		est = 300
+	}
+	return int(est)
 }
 
 // decodeJSON reads a bounded request body with unknown fields rejected —
@@ -198,9 +235,10 @@ func decodeJSON(r *http.Request, v any) error {
 
 // --- run submission ------------------------------------------------------
 
-// runResponse is the body of a completed run: the ID, the canonicalized
-// spec it addresses, and the full simulation result.
-type runResponse struct {
+// RunResponse is the body of a completed run: the ID, the canonicalized
+// spec it addresses, and the full simulation result. The cluster coordinator
+// decodes it when merging remote shards, so it is part of the wire contract.
+type RunResponse struct {
 	ID      string      `json:"id"`
 	Request hpe.RunSpec `json:"request"`
 	Result  hpe.Result  `json:"result"`
@@ -209,17 +247,18 @@ type runResponse struct {
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	const route = "run_submit"
 	if s.isDraining() {
-		s.writeErr(w, route, http.StatusServiceUnavailable, "server draining")
+		s.writeError(w, route, http.StatusServiceUnavailable, ErrDraining, "server draining", "")
 		return
 	}
 	// The wire form IS the canonical run spec: bounded body, unknown fields
 	// rejected, canonicalized on decode, content-addressed by Spec.ID().
 	sp, err := runspec.Decode(http.MaxBytesReader(nil, r.Body, 1<<20))
 	if err != nil {
-		s.writeErr(w, route, http.StatusBadRequest, "bad request body: "+err.Error())
+		s.writeError(w, route, http.StatusBadRequest, ErrBadSpec, "bad request body: "+err.Error(), "")
 		return
 	}
 	id := sp.ID()
+	s.recordSummary(id, runSummary{Kind: "run", Summary: specSummary(sp)})
 	s.serveComputed(w, r, route, id, false, func(ctx context.Context) ([]byte, error) {
 		return s.simulateRun(ctx, sp, id)
 	})
@@ -235,7 +274,7 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route, id
 		s.writeBody(w, route, http.StatusOK, "cache", body)
 		return
 	}
-	body, coalesced, err := s.co.do(r.Context(), s.baseCtx, id, func(ctx context.Context) ([]byte, error) {
+	body, coalesced, err := s.co.Do(r.Context(), s.baseCtx, id, func(ctx context.Context) ([]byte, error) {
 		release, err := s.adm.admit(ctx)
 		if err != nil {
 			return nil, err
@@ -259,16 +298,18 @@ func (s *Server) serveComputed(w http.ResponseWriter, r *http.Request, route, id
 	case err == nil:
 		s.writeBody(w, route, http.StatusOK, source, body)
 	case errors.Is(err, errQueueFull):
-		w.Header().Set("Retry-After", "1")
-		s.writeErr(w, route, http.StatusTooManyRequests, "admission queue full; retry shortly")
+		s.writeError(w, route, http.StatusTooManyRequests, ErrQueueFull,
+			"admission queue full; retry after the Retry-After hint", id)
 	case r.Context().Err() != nil:
 		// The client went away; nobody reads this, but the metrics do.
-		s.writeErr(w, route, statusClientGone, "client disconnected")
+		s.writeError(w, route, statusClientGone, ErrClientGone, "client disconnected", id)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		s.writeErr(w, route, http.StatusServiceUnavailable, "computation cancelled: "+err.Error())
+		s.writeError(w, route, http.StatusServiceUnavailable, ErrCancelled,
+			"computation cancelled: "+err.Error(), id)
 	default:
 		s.logf("hped: %s %s failed: %v", route, id, err)
-		s.writeErr(w, route, http.StatusInternalServerError, "computation failed: "+err.Error())
+		s.writeError(w, route, http.StatusInternalServerError, ErrInternal,
+			"computation failed: "+err.Error(), id)
 	}
 }
 
@@ -313,7 +354,7 @@ func (s *Server) simulateRun(ctx context.Context, sp hpe.RunSpec, id string) ([]
 		}
 		return nil, context.Canceled
 	}
-	body, err := json.Marshal(runResponse{ID: id, Request: sp, Result: res})
+	body, err := json.Marshal(RunResponse{ID: id, Request: sp, Result: res})
 	if err != nil {
 		return nil, fmt.Errorf("render result: %w", err)
 	}
@@ -329,13 +370,13 @@ func (s *Server) handleGetRun(w http.ResponseWriter, r *http.Request) {
 		s.writeBody(w, route, http.StatusOK, "cache", body)
 		return
 	}
-	if waiters, running := s.co.inflight(id); running {
+	if waiters, running := s.co.Inflight(id); running {
 		body, _ := json.Marshal(map[string]any{"id": id, "status": "running", "waiters": waiters})
 		s.writeBody(w, route, http.StatusAccepted, "", append(body, '\n'))
 		return
 	}
-	s.writeErr(w, route, http.StatusNotFound,
-		"unknown run id (results live in an LRU cache; re-POST the request to recompute)")
+	s.writeError(w, route, http.StatusNotFound, ErrNotFound,
+		"unknown run id (results live in an LRU cache; re-POST the request to recompute)", id)
 }
 
 // --- suite sweeps --------------------------------------------------------
@@ -357,20 +398,38 @@ type suiteResponse struct {
 	Reports []suiteReport `json:"reports"`
 }
 
+// RenderSuiteBody renders the canonical /v1/suite response body for a
+// normalized request and its reports. The cluster coordinator calls the same
+// function over remotely merged reports, which is what makes a coordinator
+// sweep byte-identical to a single-node one.
+func RenderSuiteBody(id string, req SuiteRequest, reports []hpe.Report) ([]byte, error) {
+	out := suiteResponse{ID: id, Request: req, Reports: make([]suiteReport, len(reports))}
+	for i, rep := range reports {
+		metrics, clamped := clampMetrics(rep.Metrics)
+		out.Reports[i] = suiteReport{ID: rep.ID, Title: rep.Title, Text: rep.Text,
+			Metrics: metrics, Clamped: clamped}
+	}
+	body, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("render reports: %w", err)
+	}
+	return append(body, '\n'), nil
+}
+
 func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	const route = "suite_submit"
 	if s.isDraining() {
-		s.writeErr(w, route, http.StatusServiceUnavailable, "server draining")
+		s.writeError(w, route, http.StatusServiceUnavailable, ErrDraining, "server draining", "")
 		return
 	}
 	var req SuiteRequest
 	if err := decodeJSON(r, &req); err != nil {
-		s.writeErr(w, route, http.StatusBadRequest, "bad request body: "+err.Error())
+		s.writeError(w, route, http.StatusBadRequest, ErrBadSpec, "bad request body: "+err.Error(), "")
 		return
 	}
-	id, err := normalizeSuite(&req)
+	id, err := NormalizeSuite(&req)
 	if err != nil {
-		s.writeErr(w, route, http.StatusBadRequest, err.Error())
+		s.writeError(w, route, http.StatusBadRequest, ErrBadSpec, err.Error(), "")
 		return
 	}
 	workers := req.Workers
@@ -378,6 +437,8 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		workers = s.cfg.SuiteWorkers
 	}
 	req.Workers = 0 // scheduling hint: kept out of the cached body
+	s.recordSummary(id, runSummary{Kind: "suite",
+		Summary: fmt.Sprintf("%d experiments, quick=%t, seed=%d", len(req.IDs), req.Quick, req.Seed)})
 	s.serveComputed(w, r, route, id, true, func(ctx context.Context) ([]byte, error) {
 		return s.sweepSuite(ctx, req, id, workers)
 	})
@@ -396,17 +457,7 @@ func (s *Server) sweepSuite(ctx context.Context, req SuiteRequest, id string, wo
 	if err != nil {
 		return nil, err
 	}
-	out := suiteResponse{ID: id, Request: req, Reports: make([]suiteReport, len(reports))}
-	for i, rep := range reports {
-		metrics, clamped := clampMetrics(rep.Metrics)
-		out.Reports[i] = suiteReport{ID: rep.ID, Title: rep.Title, Text: rep.Text,
-			Metrics: metrics, Clamped: clamped}
-	}
-	body, err := json.Marshal(out)
-	if err != nil {
-		return nil, fmt.Errorf("render reports: %w", err)
-	}
-	return append(body, '\n'), nil
+	return RenderSuiteBody(id, req, reports)
 }
 
 // clampMetrics rewrites values JSON cannot carry, recording every rewrite.
@@ -448,7 +499,9 @@ type policyJSON struct {
 	NeedsHIR      bool     `json:"needs_hir,omitempty"`
 }
 
-func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+// PoliciesBody renders the /v1/policies catalog body. The coordinator serves
+// the identical bytes (the registry is compiled into both binaries).
+func PoliciesBody() []byte {
 	infos := hpe.Policies()
 	out := make([]policyJSON, len(infos))
 	for i, info := range infos {
@@ -458,7 +511,11 @@ func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
 			NeedsHIR: info.NeedsHIR}
 	}
 	body, _ := json.Marshal(out)
-	s.writeBody(w, "policies", http.StatusOK, "", append(body, '\n'))
+	return append(body, '\n')
+}
+
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	s.writeBody(w, "policies", http.StatusOK, "", PoliciesBody())
 }
 
 type appJSON struct {
@@ -471,7 +528,8 @@ type appJSON struct {
 	ComputeGap     int    `json:"compute_gap"`
 }
 
-func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+// AppsBody renders the /v1/apps catalog body, shared with the coordinator.
+func AppsBody() []byte {
 	apps := hpe.Workloads()
 	out := make([]appJSON, len(apps))
 	for i, a := range apps {
@@ -480,22 +538,36 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 			FootprintBytes: a.FootprintBytes(), ComputeGap: a.ComputeGap}
 	}
 	body, _ := json.Marshal(out)
-	s.writeBody(w, "apps", http.StatusOK, "", append(body, '\n'))
+	return append(body, '\n')
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	s.writeBody(w, "apps", http.StatusOK, "", AppsBody())
 }
 
 // --- health and metrics --------------------------------------------------
 
+// HealthBody is the /healthz response: liveness plus the capacity figures
+// the cluster coordinator sizes its per-backend dispatch window and
+// saturation model from.
+type HealthBody struct {
+	Status  string `json:"status"`
+	Workers int    `json:"workers"`
+	Queue   int    `json:"queue"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.isDraining() {
-		s.writeErr(w, "healthz", http.StatusServiceUnavailable, "draining")
+		s.writeError(w, "healthz", http.StatusServiceUnavailable, ErrDraining, "draining", "")
 		return
 	}
-	s.writeBody(w, "healthz", http.StatusOK, "", []byte("{\"status\":\"ok\"}\n"))
+	body, _ := json.Marshal(HealthBody{Status: "ok", Workers: s.cfg.Workers, Queue: s.cfg.QueueDepth})
+	s.writeBody(w, "healthz", http.StatusOK, "", append(body, '\n'))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	queued, running := s.adm.Depths()
-	s.met.render(w, s.cache.Stats(), queued, running, s.adm.Rejected(), s.co.Coalesced())
+	s.met.render(w, s.cache.Snapshot(), queued, running, s.adm.Rejected(), s.co.Coalesced())
 	s.met.observeRequest("metrics", http.StatusOK)
 }

@@ -197,7 +197,7 @@ func TestGetRunStatus(t *testing.T) {
 	if code != http.StatusOK {
 		t.Errorf("completed id: %d, want 200 from cache: %s", code, body)
 	}
-	var rr runResponse
+	var rr RunResponse
 	if err := json.Unmarshal(body, &rr); err != nil {
 		t.Fatalf("decode run response: %v", err)
 	}
@@ -212,7 +212,7 @@ func waitInflight(t *testing.T, srv *Server, id string) {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		if _, running := srv.co.inflight(id); running {
+		if _, running := srv.co.Inflight(id); running {
 			return
 		}
 		if time.Now().After(deadline) {
@@ -348,9 +348,10 @@ func TestQueueFullRejectsWith429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("saturated server: status %d, want 429: %s", resp.StatusCode, b)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Errorf("429 lacks Retry-After header")
+	if eb, ok := DecodeError(b); !ok || eb.Code != ErrQueueFull {
+		t.Errorf("429 envelope = %+v (ok=%t), want code %q", eb, ok, ErrQueueFull)
 	}
+	assertRetryAfter(t, resp.Header)
 	if srv.adm.Rejected() == 0 {
 		t.Errorf("rejection not counted")
 	}

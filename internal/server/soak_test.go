@@ -139,7 +139,7 @@ func TestSoak(t *testing.T) {
 	}
 	t.Logf("mixed phase codes: %v", seen)
 
-	cs := srv.cache.Stats()
+	cs := srv.cache.Snapshot()
 	if cs.Hits == 0 {
 		t.Errorf("soak produced no cache hits: %+v", cs)
 	}
