@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint spec-goldens race race-probe serve-check cluster-check fuzz-seed bench bench-probe bench-json bench-smoke clean
+.PHONY: all check build test vet lint spec-goldens race race-probe serve-check cluster-check workload-check fuzz-seed bench bench-probe bench-json bench-smoke clean
 
 all: check
 
-check: build vet lint spec-goldens test race race-probe serve-check cluster-check fuzz-seed bench-smoke
+check: build vet lint spec-goldens test race race-probe serve-check cluster-check workload-check fuzz-seed bench-smoke
 
 # Tier-1 verify (ROADMAP.md).
 build:
@@ -63,11 +63,18 @@ cluster-check:
 	$(GO) vet ./internal/cluster/
 	$(GO) test -race -count=1 -timeout 600s ./internal/cluster/
 
+# Workload v2 (DESIGN.md §14) under the race detector: phase-schedule and
+# colocation generators, scenario presets, and the versioned .hpet codec
+# (v1/v2 round-trips, annotation tables, fuzzed header validation).
+workload-check:
+	$(GO) test -race -count=1 ./internal/workload/... ./internal/trace/
+
 # Fuzz targets, seed corpus only (the -fuzz loop is interactive; run
-# `go test -fuzz=FuzzEngineEquivalence ./internal/sim/` or
-# `go test -fuzz=FuzzCatalogGenerate ./internal/workload/` to explore).
+# `go test -fuzz=FuzzEngineEquivalence ./internal/sim/`,
+# `go test -fuzz=FuzzCatalogGenerate ./internal/workload/`, or
+# `go test -fuzz=FuzzPhaseSchedule ./internal/workload/` to explore).
 fuzz-seed:
-	$(GO) test -run 'Fuzz' ./internal/workload/ ./internal/sim/
+	$(GO) test -run 'Fuzz' ./internal/workload/ ./internal/sim/ ./internal/trace/
 
 # One benchmark per paper table/figure plus the ablations.
 bench:

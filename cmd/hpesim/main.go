@@ -83,20 +83,37 @@ func main() {
 		specs = append(specs, sp)
 	}
 	traces := make(map[string]*hpe.Trace)
-	env := hpe.RunEnv{Trace: func(a hpe.App) *hpe.Trace {
-		key := fmt.Sprintf("%s/%d", a.Abbr, a.Sets)
-		if tr, ok := traces[key]; ok {
+	futures := make(map[string]*trace.FutureIndex)
+	env := hpe.RunEnv{
+		Trace: func(a hpe.App) *hpe.Trace {
+			key := fmt.Sprintf("%s/%d", a.Abbr, a.Sets)
+			if tr, ok := traces[key]; ok {
+				return tr
+			}
+			tr := a.Generate()
+			tr.Footprint()
+			traces[key] = tr
 			return tr
-		}
-		tr := a.Generate()
-		tr.Footprint()
-		traces[key] = tr
-		return tr
-	}}
+		},
+		Future: func(a hpe.App, tr *hpe.Trace) *trace.FutureIndex {
+			key := fmt.Sprintf("%s/%d", a.Abbr, a.Sets)
+			if fi, ok := futures[key]; ok {
+				return fi
+			}
+			fi := trace.BuildFutureIndex(tr)
+			futures[key] = fi
+			return fi
+		},
+	}
 
-	app, _ := hpe.WorkloadByAbbr(specs[0].App) // canonical spec: cannot fail
-	tr := env.Trace(app.Scaled(specs[0].Scale))
-	printBanner(tr, specs[0].Rate)
+	// Materializing the first spec resolves the workload source — a catalog
+	// app, a phase schedule, a tenant colocation, or a trace file — and the
+	// env memo shares its trace with the runs below.
+	m0, err := specs[0].Materialize(env)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	printBanner(m0.Trace, specs[0].Rate)
 
 	for _, sp := range specs {
 		ropts := []hpe.RunOption{hpe.WithContext(ctx), hpe.WithRunEnv(env)}
@@ -192,6 +209,10 @@ func printDetails(r hpe.Result) {
 		r.L1Hits, r.L1Hits+r.L1Misses, r.L2Hits, r.L2Hits+r.L2Misses, r.Walks, r.WalkMerges, r.WalkHits)
 	fmt.Printf("  faults=%d (coalesced %d) evictions=%d barriers=%d queue depth max=%d\n",
 		r.Faults, r.Coalesced, r.Evictions, r.BarriersCrossed, r.Driver.MaxQueueDepth)
+	for _, ts := range r.Driver.Tenants {
+		fmt.Printf("  tenant %-8s faults=%d evictions=%d cross-evictions=%d\n",
+			ts.Name, ts.Faults, ts.Evictions, ts.CrossEvictions)
+	}
 	if r.DRAM != nil {
 		fmt.Printf("  data: L1D %d/%d hits, L2D %d/%d hits, DRAM row-hit %.1f%%, queue wait %.1f cyc\n",
 			r.DataL1Hits, r.DataL1Hits+r.DataL1Misses, r.DataL2Hits, r.DataL2Hits+r.DataL2Misses,

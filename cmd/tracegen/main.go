@@ -3,15 +3,24 @@
 //
 // Usage:
 //
-//	tracegen -app HSD -out hsd.hpet          # write the binary trace
-//	tracegen -app HSD -profile               # print the trace profile
-//	tracegen -in hsd.hpet -profile           # profile an existing trace
-//	tracegen -all -dir traces/               # dump the whole catalog
+//	tracegen -app HSD -out hsd.hpet              # write the binary trace
+//	tracegen -app HSD -profile                   # print the trace profile
+//	tracegen -in hsd.hpet -profile               # profile an existing trace
+//	tracegen -all -dir traces/                   # dump the whole catalog
+//	tracegen -phases "HOT:32,HSD:96" -out p.hpet # workload-v2 phase schedule
+//	tracegen -tenants "HSD,BFS" -out colo.hpet   # workload-v2 colocation
+//	tracegen -scenario diurnal -profile          # named workload-v2 preset
+//	tracegen -scenarios                          # list the presets
+//
+// Annotated (phase/tenant) traces are written in the v2 container format;
+// plain traces keep the v1 bytes. trace.Read accepts both.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,16 +28,61 @@ import (
 	"hpe"
 	"hpe/internal/addrspace"
 	"hpe/internal/trace"
+	"hpe/internal/workload"
 )
 
 func main() {
-	appAbbr := flag.String("app", "", "workload abbreviation to generate")
-	all := flag.Bool("all", false, "generate every catalog workload")
-	out := flag.String("out", "", "output file for -app")
-	dir := flag.String("dir", ".", "output directory for -all")
-	in := flag.String("in", "", "existing trace file to load instead of generating")
-	profile := flag.Bool("profile", false, "print the trace profile instead of writing")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// errNoSource asks main to print the flag usage before exiting.
+var errNoSource = errors.New("no trace source: pass -app, -all, -in, -phases, -tenants or -scenario")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	appAbbr := fs.String("app", "", "workload abbreviation to generate")
+	all := fs.Bool("all", false, "generate every catalog workload")
+	out := fs.String("out", "", "output file for a single generated trace")
+	dir := fs.String("dir", ".", "output directory for -all")
+	in := fs.String("in", "", "existing trace file to load instead of generating")
+	profile := fs.Bool("profile", false, "print the trace profile instead of writing")
+	phases := fs.String("phases", "", "phase schedule to generate (workload v2)")
+	tenants := fs.String("tenants", "", "tenant colocation to generate (workload v2)")
+	interleave := fs.Int("interleave", 0, "colocation scheduling quantum in references (with -tenants)")
+	scenario := fs.String("scenario", "", "named workload-v2 preset to generate")
+	scenarios := fs.Bool("scenarios", false, "list the workload-v2 presets and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *scenarios {
+		for _, sc := range hpe.Scenarios() {
+			src := "phases " + sc.Phases
+			if sc.Tenants != "" {
+				src = "tenants " + sc.Tenants
+			}
+			fmt.Fprintf(stdout, "%-12s %-28s %s\n", sc.Name, src, sc.Description)
+		}
+		return nil
+	}
+
+	// Exactly one trace source; a second one is a contradiction, not a
+	// priority question.
+	sources := 0
+	for _, set := range []bool{*in != "", *all, *appAbbr != "", *phases != "", *tenants != "", *scenario != ""} {
+		if set {
+			sources++
+		}
+	}
+	if sources > 1 {
+		return errors.New("conflicting flags: -in, -all, -app, -phases, -tenants and -scenario each name a trace source; pick one")
+	}
+	if *interleave != 0 && *tenants == "" && *scenario == "" {
+		return errors.New("-interleave only applies to a -tenants (or colocated -scenario) source")
+	}
 
 	switch {
 	case *all:
@@ -37,55 +91,111 @@ func main() {
 			name := strings.ReplaceAll(strings.ToLower(a.Abbr), "+", "p") + ".hpet"
 			path := filepath.Join(*dir, name)
 			if err := writeTrace(tr, path); err != nil {
-				fatalf("%s: %v", a.Abbr, err)
+				return fmt.Errorf("%s: %w", a.Abbr, err)
 			}
-			fmt.Printf("wrote %-18s %s\n", path, trace.Profiler(tr, addrspace.DefaultGeometry()))
+			fmt.Fprintf(stdout, "wrote %-18s %s\n", path, trace.Profiler(tr, addrspace.DefaultGeometry()))
 		}
 	case *in != "":
 		f, err := os.Open(*in)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
 		defer f.Close()
 		tr, err := trace.Read(f)
 		if err != nil {
-			fatalf("%v", err)
+			return err
 		}
-		describe(tr)
-	case *appAbbr != "":
-		a, ok := hpe.WorkloadByAbbr(*appAbbr)
-		if !ok {
-			fatalf("unknown workload %q", *appAbbr)
+		describe(stdout, tr)
+	case *appAbbr != "" || *phases != "" || *tenants != "" || *scenario != "":
+		app, err := resolveApp(*appAbbr, *phases, *tenants, *scenario, *interleave)
+		if err != nil {
+			return err
 		}
-		tr := a.Generate()
+		tr := app.Generate()
 		if *profile || *out == "" {
-			describe(tr)
+			describe(stdout, tr)
 		}
 		if *out != "" {
 			if err := writeTrace(tr, *out); err != nil {
-				fatalf("%v", err)
+				return err
 			}
-			fmt.Printf("wrote %s\n", *out)
+			fmt.Fprintf(stdout, "wrote %s\n", *out)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errNoSource
+	}
+	return nil
+}
+
+// resolveApp turns the single selected source flag into a workload.
+func resolveApp(abbr, phases, tenants, scenario string, interleave int) (hpe.App, error) {
+	if scenario != "" {
+		sc, ok := hpe.ScenarioByName(scenario)
+		if !ok {
+			return hpe.App{}, fmt.Errorf("unknown scenario %q (tracegen -scenarios lists them)", scenario)
+		}
+		phases, tenants = sc.Phases, sc.Tenants
+		if interleave == 0 {
+			interleave = sc.Interleave
+		}
+	}
+	switch {
+	case phases != "":
+		ps, err := workload.ParsePhases(phases)
+		if err != nil {
+			return hpe.App{}, err
+		}
+		return ps.App(), nil
+	case tenants != "":
+		co, err := workload.ParseTenants(tenants)
+		if err != nil {
+			return hpe.App{}, err
+		}
+		if interleave == 0 {
+			interleave = workload.DefaultInterleave
+		}
+		if interleave < 0 || interleave > workload.MaxInterleave {
+			return hpe.App{}, fmt.Errorf("interleave %d out of (0,%d]", interleave, workload.MaxInterleave)
+		}
+		return co.App(interleave), nil
+	default:
+		a, ok := hpe.WorkloadByAbbr(abbr)
+		if !ok {
+			return hpe.App{}, fmt.Errorf("unknown workload %q", abbr)
+		}
+		return a, nil
 	}
 }
 
-func describe(tr *hpe.Trace) {
+func describe(w io.Writer, tr *hpe.Trace) {
 	p := trace.Profiler(tr, addrspace.DefaultGeometry())
-	fmt.Println(p)
-	fmt.Printf("barriers: %d kernel boundaries\n", len(tr.Barriers))
+	fmt.Fprintln(w, p)
+	fmt.Fprintf(w, "barriers: %d kernel boundaries\n", len(tr.Barriers))
+	if tr.Annotated() {
+		fmt.Fprintln(w, "container: v2 (annotated)")
+	} else {
+		fmt.Fprintln(w, "container: v1")
+	}
+	for i, seg := range tr.Segments {
+		end := tr.Len()
+		if i+1 < len(tr.Segments) {
+			end = tr.Segments[i+1].Start
+		}
+		fmt.Fprintf(w, "segment %2d: phase %-3d refs [%d,%d) gap=%d\n", i, seg.Phase, seg.Start, end, seg.Gap)
+	}
+	for _, t := range tr.Tenants {
+		fmt.Fprintf(w, "tenant %-8s pages [%d,%d)\n", t.Name, t.Lo, t.Hi)
+	}
 	reg, irr, small, large := p.CounterClasses(addrspace.DefaultSetSize)
-	fmt.Printf("set counter census (capped at 64): regular=%d irregular=%d small=%d large=%d\n",
+	fmt.Fprintf(w, "set counter census (capped at 64): regular=%d irregular=%d small=%d large=%d\n",
 		reg, irr, small, large)
 	d := trace.ReuseDistances(tr)
 	if len(d) > 0 {
-		fmt.Printf("reuse distances: %d reuses, median %d pages, p90 %d pages\n",
+		fmt.Fprintf(w, "reuse distances: %d reuses, median %d pages, p90 %d pages\n",
 			len(d), d[len(d)/2], d[len(d)*9/10])
 	} else {
-		fmt.Println("reuse distances: none (pure streaming)")
+		fmt.Fprintln(w, "reuse distances: none (pure streaming)")
 	}
 }
 
@@ -99,9 +209,4 @@ func writeTrace(tr *hpe.Trace, path string) error {
 		return err
 	}
 	return f.Close()
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
-	os.Exit(2)
 }

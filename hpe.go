@@ -91,6 +91,9 @@ type (
 	// RunEnv supplies trace/future-index caches to Run; the zero value
 	// generates everything on demand.
 	RunEnv = runspec.Env
+	// Scenario is a named workload-v2 preset: a temporal phase schedule or
+	// a multi-tenant colocation, ready to drop into a RunSpec.
+	Scenario = workload.Scenario
 )
 
 // Pattern type constants (Fig. 2).
@@ -101,6 +104,8 @@ const (
 	PatternMostRepetitive      = workload.PatternMostRepetitive
 	PatternRepetitiveThrashing = workload.PatternRepetitiveThrashing
 	PatternRegionMoving        = workload.PatternRegionMoving
+	PatternTemporal            = workload.PatternTemporal
+	PatternColocated           = workload.PatternColocated
 )
 
 // Workloads returns the 23 Table II application models.
@@ -113,6 +118,13 @@ func WorkloadByAbbr(abbr string) (App, bool) { return workload.ByAbbr(abbr) }
 // WorkloadsByPattern returns the catalog applications with the given
 // Fig. 2 pattern type.
 func WorkloadsByPattern(p PatternType) []App { return workload.ByPattern(p) }
+
+// Scenarios returns the named workload-v2 presets (phase schedules and
+// colocations), in catalog order.
+func Scenarios() []Scenario { return workload.Scenarios() }
+
+// ScenarioByName finds a workload-v2 preset by name (e.g. "diurnal").
+func ScenarioByName(name string) (Scenario, bool) { return workload.ScenarioByName(name) }
 
 // SystemConfig returns the paper's Table I system with the given
 // device-memory capacity in pages. Spec-driven callers should prefer

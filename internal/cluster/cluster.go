@@ -171,6 +171,7 @@ func New(cfg Config) (*Coordinator, error) {
 	mux.HandleFunc("POST /v1/suite", c.handleSuite)
 	mux.HandleFunc("GET /v1/policies", c.handlePolicies)
 	mux.HandleFunc("GET /v1/apps", c.handleApps)
+	mux.HandleFunc("GET /v1/scenarios", c.handleScenarios)
 	mux.HandleFunc("GET /healthz", c.handleHealthz)
 	mux.HandleFunc("GET /metrics", c.handleMetrics)
 	c.mux = mux
@@ -578,6 +579,10 @@ func (c *Coordinator) handlePolicies(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleApps(w http.ResponseWriter, r *http.Request) {
 	c.writeBody(w, "apps", http.StatusOK, "", server.AppsBody())
+}
+
+func (c *Coordinator) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	c.writeBody(w, "scenarios", http.StatusOK, "", server.ScenariosBody())
 }
 
 // ClusterHealthBody is the coordinator's /healthz response.

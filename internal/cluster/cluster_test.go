@@ -273,6 +273,42 @@ func TestClusterRunByteIdentical(t *testing.T) {
 	}
 }
 
+// TestClusterScenarioRunByteIdentical checks workload-v2 specs ride the same
+// relay: a phase-schedule run and a colocated two-tenant run each produce
+// byte-identical bodies through the coordinator and a direct single-node
+// submission, and the colocated body carries per-tenant attribution.
+func TestClusterScenarioRunByteIdentical(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	specs := []string{
+		`{"phases":"HOT:16,HSD:32,HOT:16","policy":"lru","rate":75}`,
+		`{"tenants":"HSD,BFS","interleave":512,"policy":"hpe","rate":75}`,
+	}
+	for _, spec := range specs {
+		code, viaCluster, _ := post(t, tc.front.URL, "/v1/runs", spec)
+		if code != http.StatusOK {
+			t.Fatalf("coordinator scenario run: status %d: %s", code, viaCluster)
+		}
+		code, direct, _ := post(t, tc.backends[0].ts.URL, "/v1/runs", spec)
+		if code != http.StatusOK {
+			t.Fatalf("direct scenario run: status %d", code)
+		}
+		if !bytes.Equal(viaCluster, direct) {
+			t.Fatalf("scenario %s: coordinator body differs from single-node body", spec)
+		}
+	}
+	var rr server.RunResponse
+	code, body, _ := post(t, tc.front.URL, "/v1/runs", specs[1])
+	if code != http.StatusOK {
+		t.Fatalf("cached scenario re-run: status %d", code)
+	}
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("decode run response: %v", err)
+	}
+	if len(rr.Result.Driver.Tenants) != 2 {
+		t.Fatalf("colocated run body lacks per-tenant stats: %+v", rr.Result.Driver.Tenants)
+	}
+}
+
 // --- chaos ---------------------------------------------------------------
 
 // TestBackendKilledMidSweep crashes one backend partway through a sweep: its
@@ -476,7 +512,7 @@ func TestMergedEnumeration(t *testing.T) {
 
 func TestCatalogParity(t *testing.T) {
 	tc := newTestCluster(t, 1)
-	for _, path := range []string{"/v1/policies", "/v1/apps"} {
+	for _, path := range []string{"/v1/policies", "/v1/apps", "/v1/scenarios"} {
 		code, viaCoord := get(t, tc.front.URL, path)
 		if code != http.StatusOK {
 			t.Fatalf("coordinator %s: status %d", path, code)

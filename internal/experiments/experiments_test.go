@@ -37,7 +37,7 @@ func TestSuiteAppSelection(t *testing.T) {
 func TestIDsAndByIDRoundTrip(t *testing.T) {
 	s := quick(t)
 	ids := IDs()
-	if len(ids) != 23 {
+	if len(ids) != 25 {
 		t.Fatalf("IDs() = %d entries", len(ids))
 	}
 	// Cheap experiments resolve; the expensive ones are covered by the

@@ -132,7 +132,7 @@ var (
 	paperIDs = []string{"table1", "table2", "fig3", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "transfer", "walklat", "overhead"}
 	extensionIDs = []string{"ext", "sweep", "division", "channels", "translation",
-		"prefetch", "datapath", "hirsize"}
+		"prefetch", "datapath", "hirsize", "temporal", "colocation"}
 )
 
 // All runs every paper experiment in paper order (concurrently when
@@ -194,6 +194,10 @@ func (s *Suite) experiment(id string) (func() Report, bool) {
 		return s.DataPathStudy, true
 	case "hirsize":
 		return s.HIRSizeStudy, true
+	case "temporal":
+		return s.TemporalStudy, true
+	case "colocation":
+		return s.ColocationStudy, true
 	default:
 		return nil, false
 	}

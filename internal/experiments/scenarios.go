@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hpe/internal/runspec"
+	"hpe/internal/stats"
+	"hpe/internal/workload"
+)
+
+// Workload-v2 extension experiments: temporal phase schedules and
+// multi-tenant colocation. Both build plain runspec.Specs — the scenario
+// fields flow through the same canonicalize/materialize path as every other
+// run — so the cells cache and delegate like any catalog cell.
+
+// temporalSchedules are the phase schedules of the "temporal" study. They
+// are deliberately small siblings of the named presets (workload.Scenarios):
+// same shapes, reduced footprints, so the study stays cheap.
+var temporalSchedules = []struct{ name, phases string }{
+	{"diurnal", "HOT:16,HOT:32,HOT:48,HOT:32,HOT:16"},
+	{"burst", "PAT:24,HSD:48,PAT:24"},
+	{"regrow", "STN:32,STN:8,STN:32"},
+}
+
+// temporalPolicies are the policies the scenario studies compare: the
+// baseline, the strongest classical contender, and the paper's policy.
+var temporalPolicies = []string{"lru", "clockpro", "hpe"}
+
+// TemporalStudy measures how the policies weather phase changes (experiment
+// id "temporal"): each schedule switches the access pattern mid-run, so a
+// policy's learned state is either an asset or a liability at the boundary.
+// Evictions are normalised to LRU per schedule.
+func (s *Suite) TemporalStudy() Report {
+	header := []string{"schedule", "LRU"}
+	for _, p := range temporalPolicies[1:] {
+		header = append(header, display(p))
+	}
+	tb := stats.NewTable(header...)
+	metrics := map[string]float64{}
+	for _, sched := range temporalSchedules {
+		lru := s.RunSpec(runspec.Spec{Phases: sched.phases, Policy: "lru", Rate: 75, Seed: s.opts.Seed + 1})
+		row := []any{sched.name}
+		for _, pol := range temporalPolicies {
+			r := s.RunSpec(runspec.Spec{Phases: sched.phases, Policy: pol, Rate: 75, Seed: s.opts.Seed + 1})
+			norm := normalise(r.Evictions, lru.Evictions)
+			metrics[fmt.Sprintf("%s/%s", sched.name, display(pol))] = norm
+			if pol != "lru" {
+				row = append(row, norm)
+			} else {
+				row = append(row, 1.0)
+			}
+		}
+		tb.AddRowf(row...)
+	}
+	text := tb.Render() +
+		"\nevictions vs LRU per schedule; each schedule re-seeds its pattern at every\n" +
+		"phase boundary, so policies that classify (HPE) or track reuse epochs\n" +
+		"(CLOCK-Pro) must re-learn while the stale state still votes on victims.\n"
+	return Report{ID: "temporal", Title: "Temporal phase-schedule study (workload v2)",
+		Text: text, Metrics: metrics}
+}
+
+// ColocationStudy measures two-tenant contention (experiment id
+// "colocation"): tenants "HSD,BFS" interleaved at the default quantum, with
+// per-tenant fault/eviction attribution from the driver. CrossEvictions —
+// evictions of one tenant's page triggered by the other tenant's fault — is
+// the headline contention signal.
+func (s *Suite) ColocationStudy() Report {
+	tb := stats.NewTable("policy", "tenant", "faults", "evictions", "cross", "cross share")
+	metrics := map[string]float64{}
+	for _, pol := range temporalPolicies {
+		r := s.RunSpec(runspec.Spec{Tenants: "HSD,BFS", Policy: pol, Rate: 75, Seed: s.opts.Seed + 1})
+		for _, ts := range r.Driver.Tenants {
+			share := 0.0
+			if ts.Evictions > 0 {
+				share = float64(ts.CrossEvictions) / float64(ts.Evictions)
+			}
+			metrics[fmt.Sprintf("%s/%s/cross", display(pol), ts.Name)] = float64(ts.CrossEvictions)
+			metrics[fmt.Sprintf("%s/%s/faults", display(pol), ts.Name)] = float64(ts.Faults)
+			tb.AddRowf(display(pol), ts.Name, ts.Faults, ts.Evictions, ts.CrossEvictions,
+				fmt.Sprintf("%.0f%%", share*100))
+		}
+	}
+	// Interleave sensitivity: a finer quantum mixes the tenants' reuse
+	// windows more tightly, raising cross-tenant pressure for the same pages.
+	tb2 := stats.NewTable("interleave", "evictions", "cross (both tenants)")
+	for _, iv := range []int{256, workload.DefaultInterleave, 4096} {
+		r := s.RunSpec(runspec.Spec{Tenants: "HSD,BFS", Interleave: iv, Policy: "hpe", Rate: 75, Seed: s.opts.Seed + 1})
+		var cross uint64
+		for _, ts := range r.Driver.Tenants {
+			cross += ts.CrossEvictions
+		}
+		metrics[fmt.Sprintf("iv%d/cross", iv)] = float64(cross)
+		tb2.AddRowf(iv, r.Evictions, cross)
+	}
+	text := tb.Render() + "\nHPE interleave sensitivity:\n" + tb2.Render() +
+		"\nevictions are charged to the victim's owner; \"cross\" counts those whose\n" +
+		"triggering fault came from the other tenant. The thrashing tenant (HSD)\n" +
+		"exports pressure onto the frontier tenant's working set.\n"
+	return Report{ID: "colocation", Title: "Multi-tenant colocation study (workload v2)",
+		Text: text, Metrics: metrics}
+}

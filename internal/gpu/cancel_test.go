@@ -2,6 +2,7 @@ package gpu
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"hpe/internal/policy"
@@ -45,7 +46,7 @@ func TestWithContextBackgroundIsDeterministic(t *testing.T) {
 	cfg := DefaultConfig(tr.Footprint() * 3 / 4)
 	plain := Run(cfg, tr, policy.NewLRU())
 	probed := Run(cfg, tr, policy.NewLRU(), WithContext(context.Background()))
-	if plain != probed {
+	if !reflect.DeepEqual(plain, probed) {
 		t.Fatal("WithContext(Background) changed the simulation result")
 	}
 }

@@ -226,12 +226,14 @@ func (e *walkDoneEvent) OnEvent(a0, _ uint64) {
 	(*Simulator)(e).finishWalk(addrspace.PageID(a0))
 }
 
-// completeEvent retires one access and recycles its warp slot: a0 = SM id.
+// completeEvent retires one access and recycles its warp slot: a0 = SM id,
+// a1 = the access's compute gap (segment-dependent on annotated traces).
 type completeEvent Simulator
 
-func (e *completeEvent) OnEvent(a0, _ uint64) {
+func (e *completeEvent) OnEvent(a0, a1 uint64) {
 	s := (*Simulator)(e)
 	s.completed++
+	s.instructions += 1 + a1
 	s.dispatch(s.sms[a0])
 	s.releaseBarrier()
 }
@@ -263,13 +265,19 @@ type Simulator struct {
 	hWalk     sim.HandlerID
 	hComplete sim.HandlerID
 
-	cursor      int
-	walkWaiters map[addrspace.PageID][]continuation
-	contPool    [][]continuation // recycled waiter slices (capacity retained)
-	completed   uint64
-	walkHits    uint64
-	walks       uint64
-	walkMerges  uint64
+	cursor       int
+	walkWaiters  map[addrspace.PageID][]continuation
+	contPool     [][]continuation // recycled waiter slices (capacity retained)
+	completed    uint64
+	instructions uint64
+	walkHits     uint64
+	walks        uint64
+	walkMerges   uint64
+
+	// Per-segment compute gaps, set only for segment-annotated traces
+	// (workload v2); nil keeps the uniform cfg.ComputeGap fast path.
+	segStarts []int
+	segGaps   []sim.Cycle
 
 	// Kernel-boundary handling: slots that reached the next barrier park in
 	// stalled until every access before the barrier completes.
@@ -354,6 +362,19 @@ func New(cfg Config, tr *trace.Trace, pol policy.Policy, opts ...Option) *Simula
 	s.hWalk = s.engine.Register((*walkDoneEvent)(s))
 	s.hComplete = s.engine.Register((*completeEvent)(s))
 	s.driver = uvm.New(cfg.Driver, s.engine, s.memory, pol, s.hirC, s.invalidate)
+	if len(tr.Segments) > 0 {
+		// A segment-annotated trace (phase schedule or colocation) overrides
+		// the uniform compute gap per segment.
+		s.segStarts = make([]int, len(tr.Segments))
+		s.segGaps = make([]sim.Cycle, len(tr.Segments))
+		for i, seg := range tr.Segments {
+			s.segStarts[i] = seg.Start
+			s.segGaps[i] = sim.Cycle(max(0, seg.Gap))
+		}
+	}
+	if len(tr.Tenants) > 0 {
+		s.driver.SetTenants(tr.Tenants)
+	}
 	for i := 0; i < cfg.SMs; i++ {
 		sm := &smState{
 			id: i,
@@ -512,12 +533,31 @@ func (s *Simulator) fillAndWake(page addrspace.PageID, conts []continuation) {
 }
 
 // finish completes one access after `extra` cycles (plus the data-path
-// latency when modelled) and recycles the slot after the compute gap.
+// latency when modelled) and recycles the slot after the compute gap — the
+// uniform cfg.ComputeGap, or the access's segment gap on annotated traces.
 func (s *Simulator) finish(sm *smState, page addrspace.PageID, seq int, extra sim.Cycle) {
 	if sm.l1d != nil {
 		extra += s.dataLatency(sm, page, seq)
 	}
-	s.engine.ScheduleAfter(extra+s.cfg.ComputeGap, s.hComplete, uint64(sm.id), 0)
+	gap := s.cfg.ComputeGap
+	if s.segStarts != nil {
+		gap = s.gapAt(seq)
+	}
+	s.engine.ScheduleAfter(extra+gap, s.hComplete, uint64(sm.id), uint64(gap))
+}
+
+// gapAt returns the compute gap of the segment containing trace position seq
+// (binary search over the sorted segment starts; first segment starts at 0).
+func (s *Simulator) gapAt(seq int) sim.Cycle {
+	lo, hi := 0, len(s.segStarts)
+	for lo+1 < hi {
+		if m := (lo + hi) / 2; s.segStarts[m] <= seq {
+			lo = m
+		} else {
+			hi = m
+		}
+	}
+	return s.segGaps[lo]
 }
 
 // releaseBarrier re-dispatches parked slots once the kernel before the
@@ -564,7 +604,7 @@ func (s *Simulator) Run() Result {
 		Policy:          s.pol.Name(),
 		Cycles:          s.engine.Now(),
 		Accesses:        s.completed,
-		Instructions:    s.completed * uint64(1+s.cfg.ComputeGap),
+		Instructions:    s.instructions,
 		WalkHits:        s.walkHits,
 		Walks:           s.walks,
 		WalkMerges:      s.walkMerges,

@@ -24,6 +24,12 @@ type Flags struct {
 	HIR       string
 	Scale     int
 	MaxCycles uint64
+	// Phases, Tenants, Interleave mirror the workload-v2 scenario fields.
+	// Setting -phases or -tenants supersedes the -app default: the scenario
+	// is the run's workload source.
+	Phases     string
+	Tenants    string
+	Interleave int
 }
 
 // Register installs the spec flags on fs with the paper defaults. Callers
@@ -40,24 +46,36 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.HIR, "hir", "auto", "HIR cache: on, off, or auto (policy decides)")
 	fs.IntVar(&f.Scale, "scale", 1, "footprint scale multiplier [1,64]")
 	fs.Uint64Var(&f.MaxCycles, "max-cycles", 0, "abort a runaway simulation after this many cycles (0 = unlimited)")
+	fs.StringVar(&f.Phases, "phases", "", "phase-schedule workload, e.g. HOT:32,HSD:96,HOT:32 (supersedes -app)")
+	fs.StringVar(&f.Tenants, "tenants", "", "colocated tenant workload, e.g. HSD,BFS (supersedes -app)")
+	fs.IntVar(&f.Interleave, "interleave", 0, "tenant scheduling quantum in references (0 = default 1024; requires -tenants)")
 }
 
 // Spec assembles the parsed flags into a Spec (not yet canonicalized, so
 // invalid values surface through Canonicalize's errors, same as every other
 // input path).
 func (f Flags) Spec() Spec {
+	app := f.App
+	if f.Phases != "" || f.Tenants != "" {
+		// A scenario flag supersedes the -app default: the spec carries
+		// exactly one workload source.
+		app = ""
+	}
 	return Spec{
-		App:       f.App,
-		Policy:    f.Policy,
-		Rate:      f.Rate,
-		Seed:      f.Seed,
-		Design:    f.Design,
-		Prefetch:  f.Prefetch,
-		Channels:  f.Channels,
-		DataPath:  f.DataPath,
-		HIR:       f.HIR,
-		Scale:     f.Scale,
-		MaxCycles: f.MaxCycles,
+		App:        app,
+		Policy:     f.Policy,
+		Rate:       f.Rate,
+		Seed:       f.Seed,
+		Design:     f.Design,
+		Prefetch:   f.Prefetch,
+		Channels:   f.Channels,
+		DataPath:   f.DataPath,
+		HIR:        f.HIR,
+		Scale:      f.Scale,
+		MaxCycles:  f.MaxCycles,
+		Phases:     f.Phases,
+		Tenants:    f.Tenants,
+		Interleave: f.Interleave,
 	}
 }
 
@@ -67,17 +85,20 @@ func (f Flags) Spec() Spec {
 // CLI invocations.
 func FlagsFromSpec(s Spec) Flags {
 	return Flags{
-		App:       s.App,
-		Policy:    s.Policy,
-		Rate:      s.Rate,
-		Seed:      s.Seed,
-		Design:    s.Design,
-		Prefetch:  s.Prefetch,
-		Channels:  s.Channels,
-		DataPath:  s.DataPath,
-		HIR:       s.HIR,
-		Scale:     s.Scale,
-		MaxCycles: s.MaxCycles,
+		App:        s.App,
+		Policy:     s.Policy,
+		Rate:       s.Rate,
+		Seed:       s.Seed,
+		Design:     s.Design,
+		Prefetch:   s.Prefetch,
+		Channels:   s.Channels,
+		DataPath:   s.DataPath,
+		HIR:        s.HIR,
+		Scale:      s.Scale,
+		MaxCycles:  s.MaxCycles,
+		Phases:     s.Phases,
+		Tenants:    s.Tenants,
+		Interleave: s.Interleave,
 	}
 }
 
@@ -97,6 +118,15 @@ func (f Flags) Args() []string {
 	}
 	if f.DataPath {
 		args = append(args, "-datapath")
+	}
+	if f.Phases != "" {
+		args = append(args, "-phases", f.Phases)
+	}
+	if f.Tenants != "" {
+		args = append(args, "-tenants", f.Tenants)
+	}
+	if f.Interleave != 0 {
+		args = append(args, "-interleave", strconv.Itoa(f.Interleave))
 	}
 	return args
 }

@@ -84,6 +84,33 @@ func TestFlagsRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestScenarioFlagsRoundTrip: the workload-v2 flags survive the spec → flags
+// → args → spec round trip, and -phases / -tenants supersede the -app default
+// so the spec carries exactly one workload source.
+func TestScenarioFlagsRoundTrip(t *testing.T) {
+	for _, args := range [][]string{
+		{"-phases", "hot:32,hsd:96,hot:32", "-policy", "hpe", "-rate", "75"},
+		{"-tenants", "hsd,bfs", "-interleave", "512", "-policy", "lru", "-rate", "50"},
+		{"-tenants", "HSD,BFS", "-policy", "lru", "-rate", "50"},
+		{"-app", "trace:runs/colo.hpet", "-policy", "lru", "-rate", "50"},
+	} {
+		c, err := parseArgs(t, args).Canonicalize()
+		if err != nil {
+			t.Fatalf("flags %v: %v", args, err)
+		}
+		rc, err := parseArgs(t, FlagsFromSpec(c).Args()).Canonicalize()
+		if err != nil {
+			t.Fatalf("re-parse %v: %v", FlagsFromSpec(c).Args(), err)
+		}
+		if rc != c || rc.ID() != c.ID() {
+			t.Errorf("scenario flags round trip lost information:\n spec  %+v\n back  %+v", c, rc)
+		}
+		if (c.Phases != "" || c.Tenants != "") && c.App != "" {
+			t.Errorf("scenario flags left the -app default in place: %+v", c)
+		}
+	}
+}
+
 // TestWireBodyMatchesFlags: for every sampled run, a minimal POST /v1/runs
 // body (defaults omitted) and the fully-spelled CLI flag rendering decode to
 // the same content address — the satellite contract tying the server's wire

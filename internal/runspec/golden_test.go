@@ -74,6 +74,14 @@ func goldenInputs() []struct {
 		Tuning: Tuning{SensitivityHPE: true, SetSizeShift: 3, HPEInterval: 32}})
 	add("division-off-hpe", Spec{App: "HSD", Policy: "hpe", Rate: 75,
 		Tuning: Tuning{HPEDisableDivision: true}})
+	// Workload-v2 scenario sources (appended, so the stationary fixtures above
+	// keep their positions and their pre-scenario IDs).
+	add("phases-diurnal", Spec{Phases: "HOT:32,HOT:64,HOT:96,HOT,HOT:96,HOT:64,HOT:32",
+		Policy: "hpe", Rate: 75})
+	add("phases-burst-lru", Spec{Phases: "PAT:48,HSD:96,PAT:48", Policy: "lru", Rate: 50})
+	add("tenants-default-interleave", Spec{Tenants: "HSD,BFS", Policy: "hpe", Rate: 75})
+	add("tenants-interleave256", Spec{Tenants: "hsd, bfs", Policy: "hpe", Rate: 75, Interleave: 256})
+	add("trace-source", Spec{App: "trace:runs/colo.hpet", Policy: "lru", Rate: 50})
 	return in
 }
 

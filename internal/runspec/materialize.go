@@ -1,7 +1,10 @@
 package runspec
 
 import (
+	"fmt"
 	"math"
+	"os"
+	"strings"
 
 	"hpe/internal/addrspace"
 	"hpe/internal/gpu"
@@ -25,6 +28,23 @@ type Env struct {
 	// Future returns a Belady future index over the app's trace, for the
 	// offline Ideal policy. When nil, Ideal builds the index itself.
 	Future func(app workload.App, tr *trace.Trace) *trace.FutureIndex
+	// ReadTrace resolves a "trace:<path>" app source to its captured trace.
+	// When nil, the path is opened as a local .hpet file — servers that must
+	// not touch the filesystem install a hook that rejects or redirects.
+	ReadTrace func(path string) (*trace.Trace, error)
+}
+
+// readTrace resolves a trace: source through the env hook or the filesystem.
+func (e Env) readTrace(path string) (*trace.Trace, error) {
+	if e.ReadTrace != nil {
+		return e.ReadTrace(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
 }
 
 // Materialized is everything the simulator needs for one run, derived from
@@ -63,7 +83,10 @@ func (s Spec) Materialize(env Env) (Materialized, error) {
 	if err != nil {
 		return Materialized{}, err
 	}
-	app, _ := workload.ByAbbr(c.App) // canonical spec: lookup cannot fail
+	app, err := c.sourceApp(env)
+	if err != nil {
+		return Materialized{}, err
+	}
 	app = app.Scaled(c.Scale)
 	var tr *trace.Trace
 	if env.Trace != nil {
@@ -118,6 +141,37 @@ func (s Spec) Materialize(env Env) (Materialized, error) {
 		return Materialized{}, err
 	}
 	return Materialized{App: app, Trace: tr, Capacity: capacity, Config: cfg, Policy: pol}, nil
+}
+
+// sourceApp resolves the canonical spec's workload source — catalog
+// abbreviation, phase schedule, tenant colocation, or captured trace — to the
+// App the run simulates. The spec is already canonical, so the scenario
+// strings re-parse without error; only trace loading can fail.
+func (c Spec) sourceApp(env Env) (workload.App, error) {
+	switch {
+	case c.Phases != "":
+		ps, err := workload.ParsePhases(c.Phases)
+		if err != nil {
+			return workload.App{}, err
+		}
+		return ps.App(), nil
+	case c.Tenants != "":
+		co, err := workload.ParseTenants(c.Tenants)
+		if err != nil {
+			return workload.App{}, err
+		}
+		return co.App(c.Interleave), nil
+	case strings.HasPrefix(c.App, "trace:"):
+		path := c.App[len("trace:"):]
+		tr, err := env.readTrace(path)
+		if err != nil {
+			return workload.App{}, fmt.Errorf("runspec: load trace source %q: %w", path, err)
+		}
+		return workload.FromTrace(path, tr), nil
+	default:
+		app, _ := workload.ByAbbr(c.App) // canonical spec: lookup cannot fail
+		return app, nil
+	}
 }
 
 // hpeConfigFor derives the HPE policy configuration from the tuning knobs;

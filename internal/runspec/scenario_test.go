@@ -1,0 +1,149 @@
+package runspec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"hpe/internal/workload"
+)
+
+// TestScenarioCanonicalize pins the workload-v2 source rules: scenario strings
+// canonicalize through the workload parsers, the colocation interleave default
+// becomes explicit, and exactly one workload source is accepted.
+func TestScenarioCanonicalize(t *testing.T) {
+	c, err := Spec{Phases: " hot:32 , hsd:96 , hot:32 ", Policy: "hpe", Rate: 75}.Canonicalize()
+	if err != nil {
+		t.Fatalf("phases canonicalize: %v", err)
+	}
+	if c.Phases != "HOT:32,HSD:96,HOT:32" || c.App != "" {
+		t.Errorf("canonical phases spec = %+v", c)
+	}
+
+	c, err = Spec{Tenants: "hsd,bfs", Policy: "hpe", Rate: 75}.Canonicalize()
+	if err != nil {
+		t.Fatalf("tenants canonicalize: %v", err)
+	}
+	if c.Tenants != "HSD,BFS" || c.Interleave != workload.DefaultInterleave {
+		t.Errorf("canonical tenants spec = %+v (interleave default not explicit)", c)
+	}
+
+	// Omitted interleave and the spelled-out default share one ID; a different
+	// quantum gets its own.
+	bare := Spec{Tenants: "HSD,BFS", Policy: "hpe", Rate: 75}
+	spelled := Spec{Tenants: "HSD,BFS", Policy: "hpe", Rate: 75, Interleave: workload.DefaultInterleave}
+	if bare.ID() != spelled.ID() {
+		t.Errorf("omitted vs explicit default interleave hashed differently:\n %s\n %s",
+			bare.ID(), spelled.ID())
+	}
+	if other := (Spec{Tenants: "HSD,BFS", Policy: "hpe", Rate: 75, Interleave: 256}); other.ID() == bare.ID() {
+		t.Error("interleave quantum not part of the run identity")
+	}
+
+	// Non-canonical and canonical phase strings share one ID.
+	folded := Spec{Phases: "HOT:128:4,hsd", Policy: "lru", Rate: 50}
+	canon := Spec{Phases: "HOT,HSD", Policy: "lru", Rate: 50}
+	if folded.ID() != canon.ID() {
+		t.Errorf("equivalent phase schedules hashed differently:\n %s\n %s",
+			folded.ID(), canon.ID())
+	}
+
+	// A trace source keeps its path verbatim — no case folding.
+	c, err = Spec{App: "trace:runs/Colo.hpet", Policy: "lru", Rate: 50}.Canonicalize()
+	if err != nil {
+		t.Fatalf("trace canonicalize: %v", err)
+	}
+	if c.App != "trace:runs/Colo.hpet" {
+		t.Errorf("trace source mangled: %q", c.App)
+	}
+}
+
+// TestScenarioCanonicalizeRejects walks the workload-v2 validation table.
+func TestScenarioCanonicalizeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+	}{
+		{"no source", Spec{Policy: "lru", Rate: 50}},
+		{"app and phases", Spec{App: "HSD", Phases: "HOT:32,HSD:96", Policy: "lru", Rate: 50}},
+		{"app and tenants", Spec{App: "HSD", Tenants: "HSD,BFS", Policy: "lru", Rate: 50}},
+		{"phases and tenants", Spec{Phases: "HOT:32", Tenants: "HSD,BFS", Policy: "lru", Rate: 50}},
+		{"bad phases", Spec{Phases: "NOPE:32", Policy: "lru", Rate: 50}},
+		{"bad tenants", Spec{Tenants: "HSD", Policy: "lru", Rate: 50}},
+		{"interleave without tenants", Spec{App: "HSD", Interleave: 256, Policy: "lru", Rate: 50}},
+		{"interleave too large", Spec{Tenants: "HSD,BFS", Interleave: workload.MaxInterleave + 1, Policy: "lru", Rate: 50}},
+		{"negative interleave", Spec{Tenants: "HSD,BFS", Interleave: -1, Policy: "lru", Rate: 50}},
+		{"empty trace path", Spec{App: "trace: ", Policy: "lru", Rate: 50}},
+		{"scaled trace", Spec{App: "trace:runs/x.hpet", Scale: 2, Policy: "lru", Rate: 50}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.spec.Canonicalize(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.spec)
+		}
+	}
+}
+
+// TestScenarioMaterialize runs the two scenario families through Materialize:
+// the synthesized apps arrive annotated, and the capacity follows the
+// composed footprint.
+func TestScenarioMaterialize(t *testing.T) {
+	m, err := Spec{Phases: "HOT:16,HSD:32,HOT:16", Policy: "hpe", Rate: 75}.Materialize(Env{})
+	if err != nil {
+		t.Fatalf("phases materialize: %v", err)
+	}
+	if len(m.Trace.Segments) != 3 || len(m.Trace.Tenants) != 0 {
+		t.Errorf("phase trace has %d segments / %d tenants", len(m.Trace.Segments), len(m.Trace.Tenants))
+	}
+	if m.App.Pattern != workload.PatternTemporal {
+		t.Errorf("phase app pattern = %v", m.App.Pattern)
+	}
+
+	m, err = Spec{Tenants: "HSD,BFS", Policy: "lru", Rate: 50, Interleave: 512}.Materialize(Env{})
+	if err != nil {
+		t.Fatalf("tenants materialize: %v", err)
+	}
+	if len(m.Trace.Tenants) != 2 {
+		t.Errorf("colocated trace has %d tenant ranges, want 2", len(m.Trace.Tenants))
+	}
+	if m.App.Pattern != workload.PatternColocated {
+		t.Errorf("colocated app pattern = %v", m.App.Pattern)
+	}
+}
+
+// TestTraceSourceMaterialize captures a trace to disk and replays it through
+// a "trace:<path>" spec: the materialized trace must be the file's, refs and
+// annotations intact.
+func TestTraceSourceMaterialize(t *testing.T) {
+	src, err := Spec{Tenants: "HSD,BFS", Policy: "lru", Rate: 50}.Materialize(Env{})
+	if err != nil {
+		t.Fatalf("source materialize: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := src.Trace.Write(&buf); err != nil {
+		t.Fatalf("write trace: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "colo.hpet")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Spec{App: "trace:" + path, Policy: "lru", Rate: 50}.Materialize(Env{})
+	if err != nil {
+		t.Fatalf("trace materialize: %v", err)
+	}
+	if !reflect.DeepEqual(m.Trace.Refs, src.Trace.Refs) {
+		t.Fatal("replayed trace refs differ from the captured run")
+	}
+	if !reflect.DeepEqual(m.Trace.Tenants, src.Trace.Tenants) {
+		t.Fatal("tenant annotations lost in the capture round trip")
+	}
+	if m.Capacity != src.Capacity {
+		t.Errorf("capacity drifted: %d vs %d", m.Capacity, src.Capacity)
+	}
+
+	if _, err := (Spec{App: "trace:" + path + ".missing", Policy: "lru", Rate: 50}).Materialize(Env{}); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}

@@ -68,6 +68,19 @@ type Spec struct {
 	Scale int `json:"scale"`
 	// MaxCycles aborts a runaway simulation; 0 means unlimited.
 	MaxCycles uint64 `json:"max_cycles"`
+	// Phases selects a temporal phase-schedule workload instead of App: a
+	// workload.ParsePhases string ("HOT:32,HSD:96,HOT:32"), canonicalized.
+	// App, Phases, and Tenants are mutually exclusive workload sources; all
+	// three are omitted from the canonical JSON when empty, so stationary
+	// (v1) specs keep their pre-scenario IDs.
+	Phases string `json:"phases,omitempty"`
+	// Tenants selects a multi-tenant colocation workload instead of App: a
+	// workload.ParseTenants string ("HSD,BFS"), canonicalized.
+	Tenants string `json:"tenants,omitempty"`
+	// Interleave is the colocation scheduling quantum in references.
+	// Requires Tenants; 0 means the 1024 default (made explicit, so an
+	// omitted quantum and a spelled-out default share one ID).
+	Interleave int `json:"interleave,omitempty"`
 	// Tuning holds the rarely-used experiment knobs. The zero value is the
 	// paper configuration and is omitted from the canonical JSON, so adding
 	// a Tuning dimension never changes the ID of any existing run.
@@ -116,11 +129,54 @@ func (t Tuning) isZero() bool { return t == Tuning{} }
 // are applied: an omitted field and an explicitly-spelled default always
 // canonicalize identically, so they share one ID (and one cache entry).
 func (s Spec) Canonicalize() (Spec, error) {
-	app, ok := workload.ByAbbr(strings.ToUpper(strings.TrimSpace(s.App)))
-	if !ok {
-		return Spec{}, fmt.Errorf("runspec: unknown workload %q", s.App)
+	s.App = strings.TrimSpace(s.App)
+	s.Phases = strings.TrimSpace(s.Phases)
+	s.Tenants = strings.TrimSpace(s.Tenants)
+	sources := 0
+	for _, src := range []string{s.App, s.Phases, s.Tenants} {
+		if src != "" {
+			sources++
+		}
 	}
-	s.App = app.Abbr
+	switch {
+	case sources == 0:
+		return Spec{}, fmt.Errorf("runspec: no workload source (app, phases, or tenants)")
+	case sources > 1:
+		return Spec{}, fmt.Errorf("runspec: app, phases, and tenants are mutually exclusive workload sources")
+	case s.Phases != "":
+		ps, err := workload.ParsePhases(s.Phases)
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Phases = ps.Canonical()
+	case s.Tenants != "":
+		co, err := workload.ParseTenants(s.Tenants)
+		if err != nil {
+			return Spec{}, err
+		}
+		s.Tenants = co.Canonical()
+		if s.Interleave == 0 {
+			s.Interleave = workload.DefaultInterleave
+		}
+		if s.Interleave < 1 || s.Interleave > workload.MaxInterleave {
+			return Spec{}, fmt.Errorf("runspec: interleave %d out of [1,%d]", s.Interleave, workload.MaxInterleave)
+		}
+	case strings.HasPrefix(s.App, "trace:"):
+		// A captured-trace source: the path after the prefix is the identity,
+		// verbatim — no case folding, no catalog lookup.
+		if strings.TrimSpace(s.App[len("trace:"):]) == "" {
+			return Spec{}, fmt.Errorf("runspec: trace app source needs a path (\"trace:<path>\")")
+		}
+	default:
+		app, ok := workload.ByAbbr(strings.ToUpper(s.App))
+		if !ok {
+			return Spec{}, fmt.Errorf("runspec: unknown workload %q", s.App)
+		}
+		s.App = app.Abbr
+	}
+	if s.Interleave != 0 && s.Tenants == "" {
+		return Spec{}, fmt.Errorf("runspec: interleave requires tenants")
+	}
 	info, ok := registry.Lookup(strings.TrimSpace(s.Policy))
 	if !ok {
 		return Spec{}, fmt.Errorf("runspec: unknown policy %q", s.Policy)
@@ -151,6 +207,9 @@ func (s Spec) Canonicalize() (Spec, error) {
 	}
 	if s.Scale < 1 || s.Scale > 64 {
 		return Spec{}, fmt.Errorf("runspec: scale %d out of [1,64]", s.Scale)
+	}
+	if strings.HasPrefix(s.App, "trace:") && s.Scale > 1 {
+		return Spec{}, fmt.Errorf("runspec: a replayed trace cannot scale (scale %d)", s.Scale)
 	}
 	switch strings.ToLower(strings.TrimSpace(s.HIR)) {
 	case "", "auto":
@@ -284,6 +343,9 @@ func (s Spec) VariantLabel() string {
 	if c.MaxCycles > 0 {
 		add(fmt.Sprintf("max%d", c.MaxCycles))
 	}
+	if c.Interleave != 0 && c.Interleave != workload.DefaultInterleave {
+		add(fmt.Sprintf("iv%d", c.Interleave))
+	}
 	if c.HIR == "off" && registry.NeedsHIR(c.Policy) && !c.Tuning.SensitivityHPE {
 		add("nohir")
 	}
@@ -324,7 +386,14 @@ func (s Spec) Slug() string {
 	if err != nil {
 		return "invalid-spec"
 	}
-	label := fmt.Sprintf("%s_%s_%d", c.App, c.Policy, c.Rate)
+	src := c.App
+	switch {
+	case c.Phases != "":
+		src = "phases-" + c.Phases
+	case c.Tenants != "":
+		src = "tenants-" + c.Tenants
+	}
+	label := fmt.Sprintf("%s_%s_%d", src, c.Policy, c.Rate)
 	if v := c.VariantLabel(); v != "" {
 		label += "_" + v
 	}

@@ -61,7 +61,14 @@ func (s *Server) recordSummary(id string, sum runSummary) {
 
 // specSummary renders a run spec's one-line enumeration sketch.
 func specSummary(sp runspec.Spec) string {
-	out := fmt.Sprintf("%s %s @%d%%", sp.App, sp.Policy, sp.Rate)
+	src := sp.App
+	switch {
+	case sp.Phases != "":
+		src = "phases:" + sp.Phases
+	case sp.Tenants != "":
+		src = "tenants:" + sp.Tenants
+	}
+	out := fmt.Sprintf("%s %s @%d%%", src, sp.Policy, sp.Rate)
 	if v := sp.VariantLabel(); v != "" {
 		out += " [" + v + "]"
 	}

@@ -31,6 +31,18 @@ func TestErrorEnvelopeCodes(t *testing.T) {
 		t.Error("bad_spec envelope has no message")
 	}
 
+	// Trace-file source → bad_spec: the file lives on the client's disk, not
+	// the server's, and its content is outside the spec's content address.
+	code, _, body = postRun(t, ts.Client(), ts.URL, `{"app":"trace:runs/colo.hpet","policy":"lru","rate":75}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("trace source: status %d: %s", code, body)
+	}
+	if eb, ok = DecodeError(body); !ok || eb.Code != ErrBadSpec {
+		t.Errorf("trace-source envelope = %+v (ok=%t), want code %q", eb, ok, ErrBadSpec)
+	} else if !strings.Contains(eb.Message, "trace") {
+		t.Errorf("trace-source rejection message unclear: %q", eb.Message)
+	}
+
 	// Unknown run ID → not_found, echoing the ID the client asked for.
 	code, body = get(t, ts, "/v1/runs/run-v2-00000000000000000000000000000000")
 	if code != http.StatusNotFound {

@@ -16,6 +16,7 @@
 //	POST /v1/suite       whole-matrix sweep through the experiment harness
 //	GET  /v1/policies    the eviction-policy registry
 //	GET  /v1/apps        the Table II workload catalog
+//	GET  /v1/scenarios   the workload-v2 scenario presets (phases/tenants)
 //	GET  /healthz        liveness (503 while draining; body carries capacity)
 //	GET  /metrics        Prometheus text exposition
 //
@@ -37,6 +38,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -132,6 +134,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/suite", s.handleSuite)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/apps", s.handleApps)
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
@@ -255,6 +258,14 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	sp, err := runspec.Decode(http.MaxBytesReader(nil, r.Body, 1<<20))
 	if err != nil {
 		s.writeError(w, route, http.StatusBadRequest, ErrBadSpec, "bad request body: "+err.Error(), "")
+		return
+	}
+	// A trace-file source reads the serving host's filesystem, and the file's
+	// content is not part of the spec's content address — two backends could
+	// cache different results under one ID. Replay trace files locally.
+	if strings.HasPrefix(sp.App, "trace:") {
+		s.writeError(w, route, http.StatusBadRequest, ErrBadSpec,
+			"trace-file workload sources are not servable; replay them with hpesim", "")
 		return
 	}
 	id := sp.ID()
@@ -526,6 +537,18 @@ type appJSON struct {
 	Pages          int    `json:"pages"`
 	FootprintBytes uint64 `json:"footprint_bytes"`
 	ComputeGap     int    `json:"compute_gap"`
+}
+
+// ScenariosBody renders the /v1/scenarios catalog body: the named
+// workload-v2 presets, ready to paste into a run spec's phases/tenants
+// fields. Shared with the coordinator (compiled into both binaries).
+func ScenariosBody() []byte {
+	body, _ := json.Marshal(hpe.Scenarios())
+	return append(body, '\n')
+}
+
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	s.writeBody(w, "scenarios", http.StatusOK, "", ScenariosBody())
 }
 
 // AppsBody renders the /v1/apps catalog body, shared with the coordinator.

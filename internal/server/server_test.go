@@ -72,6 +72,23 @@ func TestCatalogEndpoints(t *testing.T) {
 		t.Errorf("catalog lists %d apps, want the paper's 23", len(apps))
 	}
 
+	code, body = get(t, ts, "/v1/scenarios")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/scenarios: %d: %s", code, body)
+	}
+	var scens []hpe.Scenario
+	if err := json.Unmarshal(body, &scens); err != nil {
+		t.Fatalf("decode scenarios: %v", err)
+	}
+	if len(scens) == 0 {
+		t.Error("scenario catalog is empty")
+	}
+	for _, sc := range scens {
+		if sc.Name == "" || (sc.Phases == "" && sc.Tenants == "") {
+			t.Errorf("malformed scenario preset: %+v", sc)
+		}
+	}
+
 	code, body = get(t, ts, "/healthz")
 	if code != http.StatusOK || !bytes.Contains(body, []byte("ok")) {
 		t.Errorf("/healthz: %d: %s", code, body)

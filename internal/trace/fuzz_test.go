@@ -26,6 +26,20 @@ func FuzzRead(f *testing.F) {
 	seed("span", []addrspace.PageID{0, 1 << 40, 7, 7, 3}, []int{2, 4})
 	f.Add([]byte("HPET"))
 	f.Add([]byte("HPET\x02\x00\x03"))
+	f.Add([]byte("HPET\x03\x00\x00\x00\x00")) // v2 header, empty body
+	{
+		// An annotated (v2) trace plus a truncation inside its tables.
+		tr := NewWithBarriers("anno", []addrspace.PageID{10, 20, 11, 21}, []int{2}).Annotate(
+			[]Segment{{Start: 0, Phase: 0, Gap: 1}, {Start: 2, Phase: 1, Gap: 3}},
+			[]TenantRange{{Name: "A", Lo: 10, Hi: 15}, {Name: "B", Lo: 20, Hi: 25}},
+		)
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()-3])
+	}
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		tr, err := Read(bytes.NewReader(raw))
@@ -53,6 +67,20 @@ func FuzzRead(f *testing.F) {
 		for i := range tr.Barriers {
 			if tr.Barriers[i] != tr2.Barriers[i] {
 				t.Fatalf("barrier %d mismatch", i)
+			}
+		}
+		if len(tr2.Segments) != len(tr.Segments) || len(tr2.Tenants) != len(tr.Tenants) {
+			t.Fatalf("annotation round trip mismatch: %d/%d vs %d/%d segments/tenants",
+				len(tr.Segments), len(tr.Tenants), len(tr2.Segments), len(tr2.Tenants))
+		}
+		for i := range tr.Segments {
+			if tr2.Segments[i] != tr.Segments[i] {
+				t.Fatalf("segment %d mismatch", i)
+			}
+		}
+		for i := range tr.Tenants {
+			if tr2.Tenants[i] != tr.Tenants[i] {
+				t.Fatalf("tenant %d mismatch", i)
 			}
 		}
 	})

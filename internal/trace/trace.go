@@ -30,9 +30,99 @@ type Trace struct {
 	// launches, which bounds how far a GPU can run ahead of its page-fault
 	// frontier.
 	Barriers []int
+	// Segments annotates contiguous reference ranges with the temporal phase
+	// (or tenant quantum) that produced them and its compute gap. Empty for
+	// stationary single-app traces — the simulator then applies one global
+	// compute gap, the exact pre-annotation fast path. When non-empty the
+	// segments are sorted ascending by Start and the first Start is 0.
+	Segments []Segment
+	// Tenants names the disjoint page ranges of co-located applications, for
+	// per-tenant fault/eviction attribution. Empty for single-app traces.
+	Tenants []TenantRange
 
 	uniq     int  // cached unique-page count; 0 means not computed
 	uniqDone bool // distinguishes "not computed" from "trace is empty"
+}
+
+// Segment annotates references [Start, nextSegment.Start) — or through the
+// end of the trace for the last segment — with the phase that emitted them.
+type Segment struct {
+	// Start is the index of the segment's first reference.
+	Start int
+	// Phase identifies which schedule phase (or, for co-located traces, which
+	// tenant) produced the segment. Display vocabulary, not identity.
+	Phase int
+	// Gap is the per-access compute-instruction count in effect during the
+	// segment, overriding the run's global ComputeGap.
+	Gap int
+}
+
+// TenantRange names one co-located application's page range [Lo, Hi).
+type TenantRange struct {
+	// Name identifies the tenant for reporting (its app abbreviation).
+	Name string
+	// Lo and Hi bound the tenant's pages: Lo inclusive, Hi exclusive.
+	Lo, Hi addrspace.PageID
+}
+
+// Annotated reports whether the trace carries v2 phase/tenant annotations
+// (and therefore serializes in the versioned v2 wire format).
+func (t *Trace) Annotated() bool {
+	return len(t.Segments) > 0 || len(t.Tenants) > 0
+}
+
+// TenantOf returns the index of the tenant range containing page p, or -1
+// when p falls outside every range.
+func (t *Trace) TenantOf(p addrspace.PageID) int {
+	for i := range t.Tenants {
+		if p >= t.Tenants[i].Lo && p < t.Tenants[i].Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// validateSegments panics unless segments are sorted, start at 0, stay within
+// the reference string, and carry non-negative phases and gaps.
+func validateSegments(segs []Segment, refs int) {
+	for i, s := range segs {
+		if s.Start < 0 || s.Start > refs {
+			panic(fmt.Sprintf("trace: segment %d start %d outside [0,%d]", i, s.Start, refs))
+		}
+		if i == 0 && s.Start != 0 {
+			panic(fmt.Sprintf("trace: first segment starts at %d, want 0", s.Start))
+		}
+		if i > 0 && s.Start <= segs[i-1].Start {
+			panic(fmt.Sprintf("trace: segment %d start %d not ascending", i, s.Start))
+		}
+		if s.Phase < 0 || s.Gap < 0 {
+			panic(fmt.Sprintf("trace: segment %d has negative phase/gap", i))
+		}
+	}
+}
+
+// validateTenants panics unless tenant ranges are non-empty, sorted by Lo,
+// and pairwise disjoint.
+func validateTenants(tens []TenantRange) {
+	for i, r := range tens {
+		if r.Hi <= r.Lo {
+			panic(fmt.Sprintf("trace: tenant %d range [%d,%d) empty", i, r.Lo, r.Hi))
+		}
+		if i > 0 && r.Lo < tens[i-1].Hi {
+			panic(fmt.Sprintf("trace: tenant %d range [%d,%d) overlaps previous", i, r.Lo, r.Hi))
+		}
+	}
+}
+
+// Annotate attaches phase segments and tenant ranges to the trace and
+// returns it. Invalid annotations panic: annotations are produced by
+// generators, so a bad one is a programming error. The slices are retained.
+func (t *Trace) Annotate(segs []Segment, tenants []TenantRange) *Trace {
+	validateSegments(segs, len(t.Refs))
+	validateTenants(tenants)
+	t.Segments = segs
+	t.Tenants = tenants
+	return t
 }
 
 // New returns a trace over the given reference string. The slice is retained,
@@ -166,24 +256,47 @@ func (f *FutureIndex) NextUse(p addrspace.PageID, after int) (int, bool) {
 //
 // Format (little-endian varints except the magic):
 //   magic "HPET" | version byte | name length uvarint | name bytes |
-//   ref count uvarint | refs as delta-zigzag uvarints
+//   ref count uvarint | refs as delta-zigzag varints |
+//   barrier count uvarint | barriers as delta uvarints
 // Delta encoding exploits the spatial locality of GPU traces: most deltas are
 // tiny, so a multi-million-reference trace compresses to ~1–2 bytes/ref.
+//
+// The version byte distinguishes the two on-disk trace formats (DESIGN.md
+// §14.3): byte traceVersionV1 is "trace v1", the stationary record layout
+// above, and byte traceVersionV2 is "trace v2", which appends the phase and
+// tenant annotation tables:
+//   segment count uvarint | segments as (start delta, phase, gap) uvarints |
+//   tenant count uvarint | tenants as (name len, name, lo delta, hi-lo) uvarints
+// Write picks the version from the trace itself — an unannotated trace
+// serializes byte-identically to the pre-v2 encoder, so existing .hpet files
+// and their byte-level fixtures are unchanged.
 
 var traceMagic = [4]byte{'H', 'P', 'E', 'T'}
 
-const traceVersion = 2
+const (
+	// traceVersionV1 is the stationary trace layout ("trace v1" in the docs;
+	// the byte value 2 is historical — version byte 1 predates barriers).
+	traceVersionV1 = 2
+	// traceVersionV2 appends the phase-segment and tenant-range tables.
+	traceVersionV2 = 3
+)
 
 // ErrBadTrace is returned when decoding input that is not a valid trace.
 var ErrBadTrace = errors.New("trace: malformed trace stream")
 
-// Write encodes the trace to w in the binary trace format.
+// Write encodes the trace to w in the binary trace format: the v1 layout for
+// stationary traces (byte-identical to the pre-annotation encoder), the v2
+// layout when phase/tenant annotations are present.
 func (t *Trace) Write(w io.Writer) error {
+	version := byte(traceVersionV1)
+	if t.Annotated() {
+		version = traceVersionV2
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(traceMagic[:]); err != nil {
 		return err
 	}
-	if err := bw.WriteByte(traceVersion); err != nil {
+	if err := bw.WriteByte(version); err != nil {
 		return err
 	}
 	var buf [binary.MaxVarintLen64]byte
@@ -219,7 +332,57 @@ func (t *Trace) Write(w io.Writer) error {
 		}
 		prevB = b
 	}
+	if version == traceVersionV2 {
+		if err := t.writeAnnotations(bw, buf[:]); err != nil {
+			return err
+		}
+	}
 	return bw.Flush()
+}
+
+// writeAnnotations appends the v2 segment and tenant tables.
+func (t *Trace) writeAnnotations(bw *bufio.Writer, buf []byte) error {
+	putU := func(v uint64) error {
+		n := binary.PutUvarint(buf, v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putU(uint64(len(t.Segments))); err != nil {
+		return err
+	}
+	prevStart := 0
+	for _, seg := range t.Segments {
+		if err := putU(uint64(seg.Start - prevStart)); err != nil {
+			return err
+		}
+		if err := putU(uint64(seg.Phase)); err != nil {
+			return err
+		}
+		if err := putU(uint64(seg.Gap)); err != nil {
+			return err
+		}
+		prevStart = seg.Start
+	}
+	if err := putU(uint64(len(t.Tenants))); err != nil {
+		return err
+	}
+	prevHi := uint64(0)
+	for _, ten := range t.Tenants {
+		if err := putU(uint64(len(ten.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(ten.Name); err != nil {
+			return err
+		}
+		if err := putU(uint64(ten.Lo) - prevHi); err != nil {
+			return err
+		}
+		if err := putU(uint64(ten.Hi - ten.Lo)); err != nil {
+			return err
+		}
+		prevHi = uint64(ten.Hi)
+	}
+	return nil
 }
 
 // Read decodes a trace from r.
@@ -236,7 +399,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
 	}
-	if ver != traceVersion {
+	if ver != traceVersionV1 && ver != traceVersionV2 {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, ver)
 	}
 	nameLen, err := binary.ReadUvarint(br)
@@ -289,5 +452,90 @@ func Read(r io.Reader) (*Trace, error) {
 		acc += int(d)
 		barriers = append(barriers, acc)
 	}
-	return NewWithBarriers(string(nameBytes), refs, barriers), nil
+	t := NewWithBarriers(string(nameBytes), refs, barriers)
+	if ver == traceVersionV2 {
+		if err := readAnnotations(br, t); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// readAnnotations decodes the v2 segment and tenant tables, rejecting (not
+// panicking on) malformed annotations: Read handles untrusted input.
+func readAnnotations(br *bufio.Reader, t *Trace) error {
+	nSegs, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: segment count: %v", ErrBadTrace, err)
+	}
+	if nSegs > uint64(len(t.Refs)) {
+		return fmt.Errorf("%w: %d segments for %d refs", ErrBadTrace, nSegs, len(t.Refs))
+	}
+	segs := make([]Segment, 0, min(nSegs, 1<<16))
+	start := 0
+	for i := uint64(0); i < nSegs; i++ {
+		d, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: segment %d start: %v", ErrBadTrace, i, err)
+		}
+		phase, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: segment %d phase: %v", ErrBadTrace, i, err)
+		}
+		gap, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: segment %d gap: %v", ErrBadTrace, i, err)
+		}
+		if i > 0 && d == 0 {
+			return fmt.Errorf("%w: segment %d start not ascending", ErrBadTrace, i)
+		}
+		start += int(d)
+		if i == 0 && start != 0 {
+			return fmt.Errorf("%w: first segment starts at %d", ErrBadTrace, start)
+		}
+		if start > len(t.Refs) || phase > 1<<20 || gap > 1<<20 {
+			return fmt.Errorf("%w: segment %d out of range", ErrBadTrace, i)
+		}
+		segs = append(segs, Segment{Start: start, Phase: int(phase), Gap: int(gap)})
+	}
+	nTen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("%w: tenant count: %v", ErrBadTrace, err)
+	}
+	if nTen > 1<<10 {
+		return fmt.Errorf("%w: tenant count %d too large", ErrBadTrace, nTen)
+	}
+	tens := make([]TenantRange, 0, nTen)
+	prevHi := uint64(0)
+	for i := uint64(0); i < nTen; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: tenant %d name length: %v", ErrBadTrace, i, err)
+		}
+		if nameLen > 1<<10 {
+			return fmt.Errorf("%w: tenant %d name length %d too large", ErrBadTrace, i, nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return fmt.Errorf("%w: tenant %d name: %v", ErrBadTrace, i, err)
+		}
+		loD, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: tenant %d lo: %v", ErrBadTrace, i, err)
+		}
+		span, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("%w: tenant %d span: %v", ErrBadTrace, i, err)
+		}
+		lo := prevHi + loD
+		if span == 0 || lo+span < lo || lo+span > 1<<62 {
+			return fmt.Errorf("%w: tenant %d range invalid", ErrBadTrace, i)
+		}
+		tens = append(tens, TenantRange{Name: string(name), Lo: addrspace.PageID(lo), Hi: addrspace.PageID(lo + span)})
+		prevHi = lo + span
+	}
+	if len(segs) > 0 || len(tens) > 0 {
+		t.Annotate(segs, tens)
+	}
+	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"hpe/internal/policy"
 	"hpe/internal/probe"
 	"hpe/internal/sim"
+	"hpe/internal/trace"
 )
 
 // HitBatchReceiver is implemented by policies (HPE) that consume HIR drains.
@@ -93,6 +94,24 @@ type Stats struct {
 	Prefetched uint64
 	// Batched counts queued faults satisfied early by a block migration.
 	Batched uint64
+	// Tenants carries per-tenant attribution when the run is a colocated
+	// workload (SetTenants); nil — and omitted from JSON — otherwise, so
+	// single-tenant results keep their exact shape.
+	Tenants []TenantStats `json:",omitempty"`
+}
+
+// TenantStats attributes driver activity to one tenant of a colocated
+// workload, by the tenant page ranges the trace carries.
+type TenantStats struct {
+	// Name is the tenant token from the trace annotation ("HSD", "NWx2").
+	Name string
+	// Faults counts far-faults serviced on the tenant's pages.
+	Faults uint64
+	// Evictions counts the tenant's pages paged out, whoever triggered it.
+	Evictions uint64
+	// CrossEvictions is the subset of Evictions triggered by another
+	// tenant's fault — the contention signal colocation studies read.
+	CrossEvictions uint64
 }
 
 type pendingFault struct {
@@ -141,6 +160,11 @@ type Driver struct {
 
 	probe probe.Probe // nil unless instrumented
 	stats Stats
+
+	// tenants holds the colocated workload's page ranges when attribution is
+	// on (SetTenants); nil otherwise. Like the probe, every attribution site
+	// is behind one nil check, so single-tenant runs keep the exact fast path.
+	tenants []trace.TenantRange
 }
 
 // New wires a driver. invalidate may be nil (no TLB shootdown — used by
@@ -175,8 +199,59 @@ func New(cfg Config, engine *sim.Engine, memory *mem.DeviceMemory, pol policy.Po
 // fast path.
 func (d *Driver) SetProbe(p probe.Probe) { d.probe = p }
 
-// Stats returns a copy of the driver's counters.
-func (d *Driver) Stats() Stats { return d.stats }
+// SetTenants turns on per-tenant attribution for a colocated workload: every
+// serviced fault and eviction is charged to the tenant whose page range
+// contains the page. nil (the default) keeps the exact unattributed fast
+// path — the same contract as SetProbe.
+func (d *Driver) SetTenants(tens []trace.TenantRange) {
+	d.tenants = tens
+	d.stats.Tenants = nil
+	for _, t := range tens {
+		d.stats.Tenants = append(d.stats.Tenants, TenantStats{Name: t.Name})
+	}
+}
+
+// tenantOf returns the index of the tenant owning p, or -1. Linear scan: a
+// colocation has at most a handful of tenants.
+func (d *Driver) tenantOf(p addrspace.PageID) int {
+	for i := range d.tenants {
+		if p >= d.tenants[i].Lo && p < d.tenants[i].Hi {
+			return i
+		}
+	}
+	return -1
+}
+
+// chargeFault attributes one serviced fault; call only when tenants != nil.
+func (d *Driver) chargeFault(p addrspace.PageID) {
+	if i := d.tenantOf(p); i >= 0 {
+		d.stats.Tenants[i].Faults++
+	}
+}
+
+// chargeEviction attributes one eviction to the victim's tenant, flagging it
+// cross-tenant when another tenant's fault triggered it; call only when
+// tenants != nil.
+func (d *Driver) chargeEviction(victim, trigger addrspace.PageID) {
+	vi := d.tenantOf(victim)
+	if vi < 0 {
+		return
+	}
+	d.stats.Tenants[vi].Evictions++
+	if ti := d.tenantOf(trigger); ti >= 0 && ti != vi {
+		d.stats.Tenants[vi].CrossEvictions++
+	}
+}
+
+// Stats returns a copy of the driver's counters. The per-tenant slice is
+// copied too, so callers can hold the snapshot across further simulation.
+func (d *Driver) Stats() Stats {
+	s := d.stats
+	if s.Tenants != nil {
+		s.Tenants = append([]TenantStats(nil), s.Tenants...)
+	}
+	return s
+}
 
 // Pending returns the number of queued (not yet in service) faults.
 func (d *Driver) Pending() int { return len(d.queue) }
@@ -306,6 +381,9 @@ func (d *Driver) prefetch(page addrspace.PageID, seq int) {
 			d.pol.OnMapped(p, f.seq)
 			d.stats.FaultsServiced++
 			d.stats.Batched++
+			if d.tenants != nil {
+				d.chargeFault(p)
+			}
 			f.done = true
 			delete(d.inFlight, p)
 			if d.probe != nil {
@@ -349,6 +427,9 @@ func (d *Driver) evictIfFull(trigger addrspace.PageID) bool {
 		d.invalidate(victim)
 	}
 	d.stats.Evictions++
+	if d.tenants != nil {
+		d.chargeEviction(victim, trigger)
+	}
 	if d.probe != nil {
 		d.probe.Emit(probe.Eviction(d.engine.Now(), victim, trigger))
 	}
@@ -371,6 +452,9 @@ func (d *Driver) complete(fi int32) {
 			d.invalidate(victim)
 		}
 		d.stats.Evictions++
+		if d.tenants != nil {
+			d.chargeEviction(victim, f.page)
+		}
 		if d.probe != nil {
 			d.probe.Emit(probe.Eviction(d.engine.Now(), victim, f.page))
 		}
@@ -380,6 +464,9 @@ func (d *Driver) complete(fi int32) {
 	}
 	d.pol.OnMapped(f.page, f.seq)
 	d.stats.FaultsServiced++
+	if d.tenants != nil {
+		d.chargeFault(f.page)
+	}
 	delete(d.inFlight, f.page)
 	if d.probe != nil {
 		now := d.engine.Now()

@@ -28,6 +28,12 @@ type App struct {
 	ComputeGap int
 
 	gen func(b *Builder, sets int)
+	// build, when non-nil, replaces the builder-based gen entirely: scenario
+	// apps (phase schedules, co-located tenants, trace replays) assemble
+	// their traces from multiple builders or a pre-loaded file. sets is the
+	// current footprint in default-geometry page sets (so Scaled composes);
+	// the hook owns any geometry conversion.
+	build func(g addrspace.Geometry, sets int) *trace.Trace
 }
 
 // Pages returns the nominal footprint in pages.
@@ -56,6 +62,9 @@ const baseSet = addrspace.SetID(0x8000)
 
 // Generate builds the app's canonical reference string.
 func (a App) Generate() *trace.Trace {
+	if a.build != nil {
+		return a.build(addrspace.DefaultGeometry(), a.Sets)
+	}
 	b := NewBuilder(addrspace.DefaultGeometry(), baseSet, a.seed())
 	a.gen(b, a.Sets)
 	return b.Build(a.Abbr)
@@ -78,6 +87,11 @@ func (a App) Scaled(scale int) App {
 // page-set geometry (used by the Fig. 7 page-set-size sensitivity study; the
 // footprint in pages is preserved).
 func (a App) GenerateWithGeometry(g addrspace.Geometry) *trace.Trace {
+	if a.build != nil {
+		// Scenario builds receive sets in default-geometry units and convert
+		// internally, preserving the footprint in pages.
+		return a.build(g, a.Sets)
+	}
 	pages := a.Pages()
 	sets := pages / g.SetSize()
 	b := NewBuilder(g, baseSet, a.seed())

@@ -23,6 +23,19 @@ const (
 	// PatternRegionMoving is Type VI: the footprint is split into address
 	// regions; each region is hot for a duration, then the app moves on.
 	PatternRegionMoving
+
+	// The workload-v2 scenario families sit outside the paper's Fig. 2
+	// taxonomy: their reference strings are compositions of the six base
+	// patterns rather than new per-kernel shapes (DESIGN.md §14).
+
+	// PatternTemporal is a phase-schedule workload: the pattern, footprint,
+	// and compute gap switch at declared phase boundaries.
+	PatternTemporal
+	// PatternColocated interleaves two or more tenants with disjoint address
+	// ranges contending for one device memory.
+	PatternColocated
+	// PatternTrace replays a reference string captured in a .hpet file.
+	PatternTrace
 )
 
 // String returns the paper's Roman-numeral name for the pattern.
@@ -40,6 +53,12 @@ func (p PatternType) String() string {
 		return "Type V"
 	case PatternRegionMoving:
 		return "Type VI"
+	case PatternTemporal:
+		return "Temporal"
+	case PatternColocated:
+		return "Colocated"
+	case PatternTrace:
+		return "Trace"
 	default:
 		return fmt.Sprintf("PatternType(%d)", int(p))
 	}

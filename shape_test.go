@@ -208,7 +208,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if len(hpe.Workloads()) != 23 {
 		t.Fatalf("catalog size %d", len(hpe.Workloads()))
 	}
-	if len(hpe.ExperimentIDs()) != 23 {
+	if len(hpe.ExperimentIDs()) != 25 {
 		t.Fatalf("experiment count %d", len(hpe.ExperimentIDs()))
 	}
 	rr := hpe.Replay(tr, hpe.NewIdeal(tr), capacity)
