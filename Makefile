@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet lint spec-goldens race race-probe serve-check cluster-check workload-check fuzz-seed bench bench-probe bench-json bench-smoke clean
+.PHONY: all check build test vet lint lint-bench spec-goldens race race-probe serve-check cluster-check workload-check fuzz-seed bench bench-probe bench-json bench-smoke clean
 
 all: check
 
@@ -23,11 +23,20 @@ vet:
 	$(GO) vet ./...
 
 # hpelint machine-checks the repo's load-bearing invariants (DESIGN.md §10):
-# determinism, map-order hygiene, probe nil-guards, context threading, and
-# lock discipline. Exit 1 means a finding; fix it or annotate the line above
-# with `//lint:ignore hpelint/<analyzer> reason`.
+# determinism, map-order hygiene, probe nil-guards, context threading, lock
+# discipline, hot-path allocation freedom, lock-acquisition order, and the
+# /v1 error envelope. Exit 1 means a finding; fix it or annotate the line
+# above with `//lint:ignore hpelint/<analyzer> reason`. The second run
+# self-lints the analyzer suite: hpelint's own output must obey the
+# determinism rules it enforces.
 lint:
-	$(GO) build ./cmd/hpelint && ./hpelint ./...
+	$(GO) build ./cmd/hpelint && ./hpelint ./... && ./hpelint ./internal/lint/ ./cmd/hpelint/
+
+# Wall-clock for the full analyzer suite over the whole repo (the call graph
+# dominates). Informational; run it when touching internal/lint to keep the
+# precommit slice fast.
+lint-bench:
+	$(GO) build ./cmd/hpelint && time ./hpelint ./...
 
 # RunSpec identity goldens (DESIGN.md §12): the committed canonical-JSON +
 # Spec.ID() fixtures must match exactly — a drift means cached results and

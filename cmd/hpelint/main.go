@@ -1,14 +1,21 @@
 // Command hpelint machine-checks the invariants this repository's serving
 // and caching layers depend on: byte-reproducible simulation output,
-// nil-guarded probe emission sites, end-to-end context threading, and
-// documented lock discipline. It is a hand-rolled, stdlib-only multichecker
-// (go/ast + go/parser + go/types; go.mod keeps zero external requirements).
+// nil-guarded probe emission sites, end-to-end context threading,
+// documented lock discipline, allocation-free simulator hot paths,
+// deadlock-free lock acquisition order, and the closed /v1 error-envelope
+// vocabulary. It is a hand-rolled, stdlib-only multichecker (go/ast +
+// go/parser + go/types; go.mod keeps zero external requirements); the
+// whole-program analyzers (hotalloc, lockorder, envelope) share one
+// cross-package call graph per invocation (DESIGN.md §10).
 //
 // Usage:
 //
-//	hpelint [-json] [-only name,name] [-list] [packages...]
+//	hpelint [-json] [-only name,name] [-pkgs pat,pat] [-list] [packages...]
 //
-// With no packages, ./... is checked. Exit codes are CI-friendly:
+// With no packages, ./... is checked. -pkgs takes the same patterns as the
+// positional form but comma-separated, so callers that compute a scoped
+// package list (scripts/precommit.sh lints only the packages a commit
+// touches) can pass it as one shell word. Exit codes are CI-friendly:
 //
 //	0  no findings
 //	1  at least one diagnostic
@@ -59,6 +66,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("hpelint", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON (schema in DESIGN.md §10)")
 	only := fs.String("only", "", "comma-separated analyzer subset to run")
+	pkgs := fs.String("pkgs", "", "comma-separated package patterns to check (alternative to positional packages)")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +89,21 @@ func run(args []string) int {
 	}
 
 	patterns := fs.Args()
+	if *pkgs != "" {
+		if len(patterns) > 0 {
+			fmt.Fprintln(os.Stderr, "hpelint: -pkgs and positional packages are mutually exclusive")
+			return 2
+		}
+		for _, p := range strings.Split(*pkgs, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
+		}
+		if len(patterns) == 0 {
+			fmt.Fprintln(os.Stderr, "hpelint: -pkgs given but empty after splitting")
+			return 2
+		}
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}

@@ -23,3 +23,22 @@ func TestSelfCheckProbePackage(t *testing.T) {
 		t.Errorf("hpelint ../../internal/probe/ exited %d, want 0", code)
 	}
 }
+
+// TestPkgsFlagScopesRun pins the -pkgs comma-separated form that
+// scripts/precommit.sh uses for commit-scoped linting.
+func TestPkgsFlagScopesRun(t *testing.T) {
+	if code := run([]string{"-pkgs", "../../internal/probe/, ../../internal/promtext/"}); code != 0 {
+		t.Errorf("hpelint -pkgs exited %d, want 0", code)
+	}
+}
+
+// TestPkgsFlagRejectsPositionalMix pins -pkgs + positional packages as a
+// usage error rather than a silent union.
+func TestPkgsFlagRejectsPositionalMix(t *testing.T) {
+	if code := run([]string{"-pkgs", "../../internal/probe/", "../../internal/promtext/"}); code != 2 {
+		t.Errorf("hpelint -pkgs with positional args exited %d, want 2", code)
+	}
+	if code := run([]string{"-pkgs", " ,, "}); code != 2 {
+		t.Errorf("hpelint -pkgs with empty list exited %d, want 2", code)
+	}
+}

@@ -69,17 +69,24 @@ func (m *clusterMetrics) redispatchCount() uint64 {
 // the Coordinator passes in.
 func (m *clusterMetrics) render(w io.Writer, snaps []backendSnapshot, sat Saturation,
 	cs respcache.Stats, coalesced uint64) {
+	// Snapshot under the lock, render outside it: w is an HTTP response, and
+	// a slow scraper must not stall shard-dispatch bookkeeping behind the
+	// socket write (hpelint/lockorder).
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	requests := copyCounts(m.requests)
+	shards := copyCounts(m.shards)
+	redispatched := m.redispatched
+	shardLat := m.shardLat
+	m.mu.Unlock()
 	p := promtext.New(w)
 
 	p.LabelledCounter("hped_cluster_requests_total",
-		"Coordinator HTTP responses by route and status code.", m.requests, "route_code")
+		"Coordinator HTTP responses by route and status code.", requests, "route_code")
 	p.LabelledCounter("hped_cluster_shards_total",
-		"Shards completed, by owning backend.", m.shards, "backend")
+		"Shards completed, by owning backend.", shards, "backend")
 	p.Counter("hped_cluster_redispatched_total",
 		"Shard attempts routed past their primary owner (dead, broken, or saturated).",
-		m.redispatched)
+		redispatched)
 	p.Counter("hped_cluster_coalesced_total",
 		"Coordinator requests served by joining an identical in-flight computation.", coalesced)
 
@@ -136,7 +143,17 @@ func (m *clusterMetrics) render(w io.Writer, snaps []backendSnapshot, sat Satura
 		"Entries held by the coordinator's result cache.", float64(cs.Entries))
 
 	p.Histogram("hped_cluster_shard_latency_seconds",
-		"Round-trip latency of one shard dispatched to a backend.", &m.shardLat, 1e-6)
+		"Round-trip latency of one shard dispatched to a backend.", &shardLat, 1e-6)
+}
+
+// copyCounts duplicates a counter map so render can release the metrics
+// lock before any byte reaches the response writer.
+func copyCounts(src map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
 }
 
 func b2f(b bool) float64 {

@@ -1,0 +1,42 @@
+package gpu
+
+import (
+	"testing"
+
+	"hpe/internal/addrspace"
+	"hpe/internal/policy"
+	"hpe/internal/trace"
+)
+
+// TestPrepopulatedRunAllocBound pins the hotalloc guarantee over the whole
+// gpu+uvm handler path at runtime: with the footprint prepopulated there
+// are no demand faults, so the steady-state issue → TLB → walk → complete
+// event chain must not allocate per access. Construction (engine, SMs,
+// TLBs, pools) is a fixed cost, so the test asserts a small per-access
+// bound rather than zero: with 40k accesses, anything that allocates per
+// event blows through it immediately, while setup contributes < 0.05.
+func TestPrepopulatedRunAllocBound(t *testing.T) {
+	const accesses = 40000
+	refs := make([]addrspace.PageID, accesses)
+	for i := range refs {
+		refs[i] = addrspace.PageID(i % 512)
+	}
+	tr := trace.New("alloc-bound", refs)
+	cfg := smallConfig(1024)
+	cfg.Prepopulate = true
+
+	total := testing.AllocsPerRun(1, func() {
+		res := Run(cfg, tr, policy.NewLRU())
+		if res.Faults != 0 {
+			t.Fatalf("prepopulated run took %d faults, want 0", res.Faults)
+		}
+		if res.Accesses != accesses {
+			t.Fatalf("completed %d accesses, want %d", res.Accesses, accesses)
+		}
+	})
+	perAccess := total / accesses
+	if perAccess > 0.5 {
+		t.Errorf("prepopulated run allocated %.0f objects (%.3f per access), want < 0.5 per access",
+			total, perAccess)
+	}
+}

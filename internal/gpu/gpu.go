@@ -477,6 +477,7 @@ func (s *Simulator) issue(sm *smState, seq int) {
 	// Page walk, with MSHR-style merging of concurrent walks.
 	cont := continuation{smID: sm.id, seq: seq}
 	if ws, ok := s.walkWaiters[page]; ok {
+		//lint:ignore hpelint/hotalloc waiter slices recycle through contPool, so growth amortizes across walks
 		s.walkWaiters[page] = append(ws, cont)
 		s.walkMerges++
 		if s.probe != nil {
@@ -489,6 +490,7 @@ func (s *Simulator) issue(sm *smState, seq int) {
 		ws = s.contPool[n-1]
 		s.contPool = s.contPool[:n-1]
 	}
+	//lint:ignore hpelint/hotalloc waiter slices recycle through contPool, so growth amortizes across walks
 	s.walkWaiters[page] = append(ws, cont)
 	s.walks++
 	var delay sim.Cycle
@@ -514,6 +516,7 @@ func (s *Simulator) finishWalk(page addrspace.PageID) {
 		return
 	}
 	// Far-fault: the waiting warps block until the driver maps the page.
+	//lint:ignore hpelint/hotalloc one continuation per far-fault; faults are the priced slow path, not the per-event path
 	s.driver.Fault(page, conts[0].seq, func() { s.fillAndWake(page, conts) })
 }
 

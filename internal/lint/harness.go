@@ -157,6 +157,7 @@ func runFixture(t errorfer, fixture string, analyzers ...*Analyzer) fixtureResul
 		known[a.Name] = true
 	}
 	diags := runAnalyzers(pkg, fset, analyzers, false)
+	diags = append(diags, runProgramAnalyzers(fset, []*Package{pkg}, analyzers, false)...)
 	dirs, dirDiags := collectDirectives(fset, pkg.Files, known)
 	diags = append(applyDirectives(diags, dirs), dirDiags...)
 	sortDiagnostics(diags)

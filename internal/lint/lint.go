@@ -45,8 +45,15 @@ type Analyzer struct {
 	// The fixture harness bypasses Scope so testdata packages exercise
 	// analyzers regardless of their production footprint.
 	Scope func(pkgPath string) bool
-	// Run performs the analysis.
+	// Run performs a per-package analysis. Exactly one of Run and
+	// RunProgram is set.
 	Run func(*Pass)
+	// RunProgram performs a whole-program analysis over every loaded
+	// package at once, with access to the shared cross-package call graph
+	// (ProgramPass.Graph). Program analyzers apply their own package scoping
+	// through ProgramPass.InScope, since one invocation spans packages both
+	// in and out of their footprint.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -104,11 +111,15 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// runAnalyzers applies each analyzer to pkg (honoring Scope when useScope is
-// set) and returns the raw, unsuppressed diagnostics.
+// runAnalyzers applies each per-package analyzer to pkg (honoring Scope when
+// useScope is set) and returns the raw, unsuppressed diagnostics. Program
+// analyzers (RunProgram) are driven separately by runProgramAnalyzers.
 func runAnalyzers(pkg *Package, fset *token.FileSet, analyzers []*Analyzer, useScope bool) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		if useScope && a.Scope != nil && !a.Scope(pkg.ImportPath) {
 			continue
 		}

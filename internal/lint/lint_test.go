@@ -46,6 +46,21 @@ func TestSpecSourceFixture(t *testing.T) {
 	requireMin(t, res, "specsource", 2)
 }
 
+func TestEnvelopeFixture(t *testing.T) {
+	res := runFixture(t, "envelope", AnalyzerEnvelope)
+	requireMin(t, res, "envelope", 2)
+}
+
+func TestHotAllocFixture(t *testing.T) {
+	res := runFixture(t, "hotalloc", AnalyzerHotAlloc)
+	requireMin(t, res, "hotalloc", 2)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	res := runFixture(t, "lockorder", AnalyzerLockOrder)
+	requireMin(t, res, "lockorder", 2)
+}
+
 // TestIgnoreFixture proves the suppression contract: a directive silences
 // exactly the named analyzer on exactly the next line, and every other
 // directive shape (wrong analyzer, wrong line, no violation, malformed,
@@ -92,7 +107,7 @@ func TestRunOnProductionPackages(t *testing.T) {
 // //lint:ignore directives key on.
 func TestAnalyzerNamesStable(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "ctxflow,determinism,locked,maporder,probeguard,specsource"
+	want := "ctxflow,determinism,envelope,hotalloc,locked,lockorder,maporder,probeguard,specsource"
 	if got != want {
 		t.Errorf("AnalyzerNames() = %s, want %s", got, want)
 	}

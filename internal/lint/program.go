@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// ProgramPass carries one whole-program analyzer's view of the full loaded
+// program. Unlike the per-package Pass, it sees every package at once and
+// shares one lazily-built, cached call graph with every other program
+// analyzer in the same driver invocation — the graph is built at most once
+// per `hpelint` run however many analyzers consume it.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Packages []*Package
+	// UseScope reports whether package-scope filters apply (the production
+	// driver) or are bypassed (the fixture harness, where the package under
+	// test is a testdata fixture, not a production path). Analyzers consult
+	// it through InScope.
+	UseScope bool
+
+	cache *programCache
+	diags *[]Diagnostic
+}
+
+// programCache holds per-invocation state shared across program analyzers.
+type programCache struct {
+	graph *CallGraph
+}
+
+// Graph returns the whole-program call graph, building it on first use and
+// reusing it for every subsequent analyzer in this invocation.
+func (p *ProgramPass) Graph() *CallGraph {
+	if p.cache.graph == nil {
+		p.cache.graph = buildCallGraph(p.Fset, p.Packages)
+	}
+	return p.cache.graph
+}
+
+// Reportf records a diagnostic at pos under the running analyzer's name.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether a package participates in an analyzer's scoped
+// footprint: always true under the fixture harness, a path-suffix match in
+// production.
+func (p *ProgramPass) InScope(pkgPath string, suffixes []string) bool {
+	if !p.UseScope {
+		return true
+	}
+	return pathHasSuffixAny(pkgPath, suffixes)
+}
+
+// runProgramAnalyzers applies each whole-program analyzer (Analyzer with
+// RunProgram set) once over the full package set, sharing one cache.
+func runProgramAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, useScope bool) []Diagnostic {
+	var diags []Diagnostic
+	cache := &programCache{}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{
+			Analyzer: a,
+			Fset:     fset,
+			Packages: pkgs,
+			UseScope: useScope,
+			cache:    cache,
+			diags:    &diags,
+		}
+		a.RunProgram(pass)
+	}
+	return diags
+}

@@ -10,7 +10,10 @@ func All() []*Analyzer {
 	return []*Analyzer{
 		AnalyzerCtxFlow,
 		AnalyzerDeterminism,
+		AnalyzerEnvelope,
+		AnalyzerHotAlloc,
 		AnalyzerLocked,
+		AnalyzerLockOrder,
 		AnalyzerMapOrder,
 		AnalyzerProbeGuard,
 		AnalyzerSpecSource,
@@ -57,16 +60,24 @@ func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, er
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
+	// Per-package analyzers first, then the whole-program ones (which see
+	// every loaded package at once and share one cached call graph).
+	// Directives are collected program-wide and applied to the combined
+	// diagnostic set: a //lint:ignore suppresses by (file, line, analyzer)
+	// regardless of which kind of analyzer produced the finding.
 	var all []Diagnostic
+	var dirs []*directive
 	for _, pkg := range prog.Packages {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("%s does not type-check: %v", pkg.ImportPath, pkg.TypeErrors[0])
 		}
-		diags := runAnalyzers(pkg, prog.Fset, analyzers, true)
-		dirs, dirDiags := collectDirectives(prog.Fset, pkg.Files, known)
-		diags = append(applyDirectives(diags, dirs), dirDiags...)
-		all = append(all, diags...)
+		all = append(all, runAnalyzers(pkg, prog.Fset, analyzers, true)...)
+		pkgDirs, dirDiags := collectDirectives(prog.Fset, pkg.Files, known)
+		dirs = append(dirs, pkgDirs...)
+		all = append(all, dirDiags...)
 	}
+	all = append(all, runProgramAnalyzers(prog.Fset, prog.Packages, analyzers, true)...)
+	all = applyDirectives(all, dirs)
 	for i := range all {
 		if rel, err := filepath.Rel(dir, all[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) && rel != "" && !isParentEscape(rel) {
 			all[i].Pos.Filename = rel

@@ -1,0 +1,36 @@
+// Package callgraph is a graph-shape fixture: the call-graph unit tests
+// assert these exact nodes, edges and address-taken flags, so every
+// declaration here is load-bearing. It carries no want annotations — it is
+// consumed by buildCallGraph directly, not by the want harness.
+package callgraph
+
+type stepper interface{ Step(n int) int }
+
+type alpha struct{ v int }
+
+func (a *alpha) Step(n int) int { return a.v + n }
+
+type beta struct{}
+
+func (beta) Step(n int) int { return n * 2 }
+
+// dispatch calls through the interface; CHA must fan out to both impls.
+func dispatch(s stepper) int { return s.Step(1) }
+
+// direct is only ever called, never referenced: not address-taken.
+func direct() int { return 7 }
+
+// taken is assigned to a variable below: address-taken, so it is a
+// candidate callee for every func() int call through a value.
+func taken() int { return 9 }
+
+func driver() int {
+	total := dispatch(&alpha{})
+	total += direct()
+	f := taken
+	total += f()
+	g := func() int { return total } // driver$1: stored closure
+	total += g()
+	func() { total++ }() // driver$2: called in place, not address-taken
+	return total
+}

@@ -1,0 +1,92 @@
+// Package hotalloc exercises the hot-path allocation guard: functions
+// reachable from a //hpelint:hotpath root are flagged for per-event
+// allocation; unreachable (cold) functions stay silent.
+package hotalloc
+
+import "fmt"
+
+type event struct {
+	at   uint64
+	kind int32
+}
+
+type engine struct {
+	heap  []event
+	names map[int32]string
+	sink  any
+	buf   []byte
+}
+
+// emit is an interface-accepting sink reached from the hot path.
+func emit(v any) { _ = v }
+
+// handler is resolved CHA-style from the Step interface call below.
+type handler interface{ OnEvent(a0, a1 uint64) }
+
+type faultHandler struct {
+	count uint64
+	name  string
+}
+
+func (h *faultHandler) OnEvent(a0, a1 uint64) {
+	h.count++
+	why := h.name + "-page" // want `string concatenation allocates`
+	_ = why
+}
+
+//hpelint:hotpath fixture root standing in for sim.Engine.Step
+func (e *engine) Step(h handler) bool {
+	h.OnEvent(1, 2) // interface call: pulls every OnEvent impl into the hot set
+	e.fire()
+	return len(e.heap) > 0
+}
+
+// fire is hot by reachability from Step.
+func (e *engine) fire() {
+	ev := &event{at: 1} // want `&composite literal escapes to the heap`
+	_ = ev
+	ids := []int32{1, 2} // want `slice/map composite literal allocates`
+	_ = ids
+	m := make(map[int32]string) // want `make allocates per event`
+	_ = m
+	p := new(event) // want `new allocates per event`
+	_ = p
+	fmt.Sprintf("event %d", 1) // want `fmt.Sprintf allocates and reflects per event`
+	at := uint64(7)
+	if e.names == nil {
+		// A panic argument prices its allocation exactly once: silent.
+		panic(fmt.Sprintf("engine misconfigured at %d", at))
+	}
+	cb := func() uint64 { return at } // want `closure captures "at" and allocates per event`
+	_ = cb()
+	var local []event
+	local = append(local, event{}) // want `append to un-presized local "local" allocates on growth`
+	_ = local
+	sized := make([]event, 0, 8)   // want `make allocates per event`
+	sized = append(sized, event{}) // append to make-presized local: silent
+	_ = sized
+	e.heap = append(e.heap, event{}) // field-backed: amortized, silent
+	emit(event{})                    // want `argument boxes a concrete hotalloc.event into an interface`
+	emit(&event{})                   // want `&composite literal escapes to the heap`
+	e.sink = event{at: 2} // want `assignment boxes a concrete hotalloc.event into an interface`
+	e.quiet()
+}
+
+// capturefree closures compile to static funcs and stay silent.
+func (e *engine) quiet() {
+	f := func() uint64 { return 42 }
+	_ = f()
+	e.buf = e.buf[:0]
+}
+
+// cold is NOT reachable from any root: allocation is fine here.
+func cold() *event {
+	m := map[string]int{"setup": 1}
+	_ = m
+	return &event{at: fmtSize()}
+}
+
+func fmtSize() uint64 {
+	s := fmt.Sprintf("%d", 1)
+	return uint64(len(s))
+}

@@ -1,0 +1,140 @@
+// Package lockorder exercises the lock-order analyzer: cyclic acquisition
+// orders (direct and through static calls) and blocking operations while a
+// mutex is held are flagged; consistent nesting and sequential locking stay
+// silent.
+package lockorder
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type registry struct {
+	mu    sync.Mutex
+	items map[string]int
+}
+
+type journal struct {
+	mu   sync.Mutex
+	rows []string
+}
+
+type cache struct {
+	mu   sync.Mutex
+	data map[string]int
+}
+
+type stats struct {
+	mu   sync.Mutex
+	hits int
+}
+
+var (
+	reg registry
+	jnl journal
+	c   cache
+	st  stats
+)
+
+// record nests jnl.mu inside reg.mu; replay nests the other way — a cycle.
+func record(k string) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	jnl.mu.Lock() // want `acquiring lockorder.journal.mu while holding lockorder.registry.mu is part of a lock-order cycle`
+	jnl.rows = append(jnl.rows, k)
+	jnl.mu.Unlock()
+}
+
+func replay() int {
+	jnl.mu.Lock()
+	defer jnl.mu.Unlock()
+	reg.mu.Lock() // want `acquiring lockorder.registry.mu while holding lockorder.journal.mu is part of a lock-order cycle`
+	n := len(reg.items)
+	reg.mu.Unlock()
+	return n
+}
+
+// fill acquires reg.mu transitively through touchReg while holding c.mu;
+// lookup nests c.mu inside reg.mu — a cycle visible only via the call graph.
+func fill() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	touchReg() // want `call to lockorder.touchReg acquires lockorder.registry.mu while holding lockorder.cache.mu — part of a lock-order cycle`
+}
+
+func lookup(k string) int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	c.mu.Lock() // want `acquiring lockorder.cache.mu while holding lockorder.registry.mu is part of a lock-order cycle`
+	v := c.data[k]
+	c.mu.Unlock()
+	return v
+}
+
+func touchReg() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.items["touched"]++
+}
+
+// consistent nesting (reg.mu before st.mu, never the reverse) is silent.
+func bump() {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	st.mu.Lock()
+	st.hits++
+	st.mu.Unlock()
+}
+
+// sequential (not nested) acquisition is silent: reg.mu is released before
+// jnl.mu is taken.
+func rotate() {
+	reg.mu.Lock()
+	n := len(reg.items)
+	reg.mu.Unlock()
+	jnl.mu.Lock()
+	if n > 0 {
+		jnl.rows = jnl.rows[:0]
+	}
+	jnl.mu.Unlock()
+}
+
+// publish performs network I/O while holding st.mu: the response write can
+// stall on a slow client with the mutex held.
+func publish(w http.ResponseWriter) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	w.Write([]byte("hits")) // want `potentially blocking I/O to a caller-supplied writer while holding lockorder.stats.mu`
+}
+
+// wait blocks on a channel receive with jnl.mu held; the later sleep happens
+// after release and is silent.
+func wait(ch chan int) {
+	jnl.mu.Lock()
+	<-ch // want `potentially blocking channel receive while holding lockorder.journal.mu`
+	jnl.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// drain blocks but holds nothing — silent here, flagged at call sites that
+// hold a lock.
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func flush(ch chan int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	drain(ch) // want `call to lockorder.drain may block \(range over channel\) while holding lockorder.stats.mu`
+}
+
+// relock re-acquires a mutex already held on the same goroutine:
+// sync.Mutex is not reentrant, so this self-deadlocks.
+func relock() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.mu.Lock() // want `reacquiring lockorder.stats.mu while it is already held \(self-deadlock\)`
+	st.mu.Unlock()
+}

@@ -100,15 +100,10 @@ func (c *ClockPro) insertNewest(n *cpNode) {
 
 // unlinkNode removes n from the ring, repointing hands and head past it.
 func (c *ClockPro) unlinkNode(n *cpNode) {
-	for _, h := range []**cpNode{&c.handHot, &c.handCold, &c.handTest, &c.oldest} {
-		if *h == n {
-			if n.next == n {
-				*h = nil
-			} else {
-				*h = n.next
-			}
-		}
-	}
+	c.repointPast(&c.handHot, n)
+	c.repointPast(&c.handCold, n)
+	c.repointPast(&c.handTest, n)
+	c.repointPast(&c.oldest, n)
 	if n.next == n {
 		// Last node.
 		n.prev, n.next = nil, nil
@@ -117,6 +112,18 @@ func (c *ClockPro) unlinkNode(n *cpNode) {
 	n.prev.next = n.next
 	n.next.prev = n.prev
 	n.prev, n.next = nil, nil
+}
+
+// repointPast moves a hand (or the head) off n before it leaves the ring.
+func (c *ClockPro) repointPast(h **cpNode, n *cpNode) {
+	if *h != n {
+		return
+	}
+	if n.next == n {
+		*h = nil
+	} else {
+		*h = n.next
+	}
 }
 
 func (c *ClockPro) removeEntry(n *cpNode) {
@@ -254,6 +261,7 @@ func (c *ClockPro) OnMapped(p addrspace.PageID, seq int) {
 		}
 		// Short reuse distance: promote.
 		c.removeEntry(n)
+		//lint:ignore hpelint/hotalloc one node per mapped page; mapping happens on the priced far-fault path
 		hot := &cpNode{page: p, state: stateHot}
 		c.insertNewest(hot)
 		c.index[p] = hot
@@ -267,6 +275,7 @@ func (c *ClockPro) OnMapped(p addrspace.PageID, seq int) {
 		}
 		return
 	}
+	//lint:ignore hpelint/hotalloc one node per mapped page; mapping happens on the priced far-fault path
 	n := &cpNode{page: p, state: stateColdResident, inTest: true}
 	c.insertNewest(n)
 	c.index[p] = n

@@ -86,8 +86,10 @@ func (b *Ideal) refresh(p addrspace.PageID, seq int) {
 	}
 	b.nextUse[p] = next
 	e := idealHeapEntry{page: p, next: next}
+	//lint:ignore hpelint/hotalloc container/heap's interface{} API boxes by design; ideal is the offline oracle baseline
 	heap.Push(&b.victims, e)
 	if next != neverUsedAgain {
+		//lint:ignore hpelint/hotalloc container/heap's interface{} API boxes by design; ideal is the offline oracle baseline
 		heap.Push(&b.expiry, e)
 	}
 }

@@ -36,6 +36,7 @@ func (l *recencyList) pushMRU(p addrspace.PageID) {
 	if _, ok := l.index[p]; ok {
 		panic(fmt.Sprintf("policy: page %v already in recency list", p))
 	}
+	//lint:ignore hpelint/hotalloc one node per mapped page; mapping happens on the priced far-fault path
 	n := &lruNode{page: p}
 	l.index[p] = n
 	if l.tail == nil {

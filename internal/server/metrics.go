@@ -125,20 +125,28 @@ func (m *serverMetrics) simEventTotal(kind string) uint64 {
 // Server passes in.
 func (m *serverMetrics) render(w io.Writer, cs respcache.Stats, queued, running int,
 	rejected, coalesced uint64) {
+	// Snapshot under the lock, render outside it: w is an HTTP response, and
+	// a slow client scraping /metrics must not stall every request-path
+	// counter update behind the socket write (hpelint/lockorder).
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	requests := copyCounts(m.requests)
+	simEvents := copyCounts(m.simEvents)
+	runsStarted, runsCompleted := m.runsStarted, m.runsCompleted
+	runsCancelled, runsFailed := m.runsCancelled, m.runsFailed
+	cachedLat, simLat, suiteLat := m.cachedLat, m.simLat, m.suiteLat
+	m.mu.Unlock()
 	p := promtext.New(w)
 
 	p.LabelledCounter("hped_requests_total",
-		"HTTP responses by route and status code.", m.requests, "route_code")
+		"HTTP responses by route and status code.", requests, "route_code")
 	p.Counter("hped_runs_started_total",
-		"Leader computations started (coalesced waiters excluded).", m.runsStarted)
+		"Leader computations started (coalesced waiters excluded).", runsStarted)
 	p.Counter("hped_runs_completed_total",
-		"Leader computations that ran to completion.", m.runsCompleted)
+		"Leader computations that ran to completion.", runsCompleted)
 	p.Counter("hped_runs_cancelled_total",
-		"Leader computations stopped early by cancellation.", m.runsCancelled)
+		"Leader computations stopped early by cancellation.", runsCancelled)
 	p.Counter("hped_runs_failed_total",
-		"Leader computations that errored (including recovered panics).", m.runsFailed)
+		"Leader computations that errored (including recovered panics).", runsFailed)
 	p.Counter("hped_runs_coalesced_total",
 		"Requests served by joining an identical in-flight computation.", coalesced)
 
@@ -154,12 +162,22 @@ func (m *serverMetrics) render(w io.Writer, cs respcache.Stats, queued, running 
 		"Submissions refused with 429 because the admission queue was full.", rejected)
 
 	p.Histogram("hped_cached_hit_latency_seconds",
-		"Latency of responses served from the result cache.", &m.cachedLat, 1e-6)
+		"Latency of responses served from the result cache.", &cachedLat, 1e-6)
 	p.Histogram("hped_run_latency_seconds",
-		"Latency of single-run simulations (leader computations).", &m.simLat, 1e-6)
+		"Latency of single-run simulations (leader computations).", &simLat, 1e-6)
 	p.Histogram("hped_suite_latency_seconds",
-		"Latency of suite sweeps (leader computations).", &m.suiteLat, 1e-6)
+		"Latency of suite sweeps (leader computations).", &suiteLat, 1e-6)
 
 	p.LabelledCounter("hped_sim_events_total",
-		"Simulator probe events aggregated across served runs, by kind.", m.simEvents, "kind")
+		"Simulator probe events aggregated across served runs, by kind.", simEvents, "kind")
+}
+
+// copyCounts duplicates a counter map so render can release the metrics
+// lock before any byte reaches the response writer.
+func copyCounts(src map[string]uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
 }

@@ -144,6 +144,7 @@ func (e *Engine) push(at Cycle, a0, a1 uint64, kind int32) {
 		if newCap < minHeapCap {
 			newCap = minHeapCap
 		}
+		//lint:ignore hpelint/hotalloc amortized heap growth: capacity doubles from a 1024 floor, so copies are O(log n) overall
 		grown := make([]heapNode, len(e.heap), newCap)
 		copy(grown, e.heap)
 		e.heap = grown
